@@ -1,0 +1,66 @@
+//! Instance-matching latency (§5.4.1) vs. dataset scale and query-pattern
+//! length — ETable's interactive feel depends on matching staying fast as
+//! users add nodes to the pattern.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use etable_core::pattern::{NodeFilter, QueryPattern};
+use etable_core::{matching, ops};
+use etable_datagen::GenConfig;
+use etable_relational::expr::CmpOp;
+use etable_tgm::Tgdb;
+
+/// Builds the Figure 6 pattern truncated to `len` nodes (1–4).
+fn pattern_of_len(tgdb: &Tgdb, len: usize) -> QueryPattern {
+    let (confs, _) = tgdb.schema.node_type_by_name("Conferences").unwrap();
+    let mut q = ops::initiate(tgdb, confs).unwrap();
+    q = ops::select(tgdb, &q, NodeFilter::cmp("acronym", CmpOp::Eq, "SIGMOD")).unwrap();
+    if len >= 2 {
+        let (pe, _) = tgdb.schema.outgoing_by_name(confs, "Papers").unwrap();
+        q = ops::add(tgdb, &q, pe).unwrap();
+        q = ops::select(tgdb, &q, NodeFilter::cmp("year", CmpOp::Gt, 2005)).unwrap();
+    }
+    if len >= 3 {
+        let papers_ty = q.primary_node().node_type;
+        let (ae, _) = tgdb.schema.outgoing_by_name(papers_ty, "Authors").unwrap();
+        q = ops::add(tgdb, &q, ae).unwrap();
+    }
+    if len >= 4 {
+        let authors_ty = q.primary_node().node_type;
+        let (ie, _) = tgdb
+            .schema
+            .outgoing_by_name(authors_ty, "Institutions")
+            .unwrap();
+        q = ops::add(tgdb, &q, ie).unwrap();
+        q = ops::select(tgdb, &q, NodeFilter::like("country", "%Korea%")).unwrap();
+    }
+    q
+}
+
+fn bench_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching/scale");
+    group.sample_size(20);
+    for papers in [300usize, 1000, 3000] {
+        let (_, tgdb) = etable_bench::dataset(&GenConfig::small().with_papers(papers));
+        let q = pattern_of_len(&tgdb, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(papers), &papers, |b, _| {
+            b.iter(|| matching::match_primary(&tgdb, &q).unwrap().rows().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_pattern_length(c: &mut Criterion) {
+    let (_, tgdb) = etable_bench::dataset(&GenConfig::small().with_papers(1000));
+    let mut group = c.benchmark_group("matching/pattern_length");
+    group.sample_size(20);
+    for len in 1..=4usize {
+        let q = pattern_of_len(&tgdb, len);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| matching::match_primary(&tgdb, &q).unwrap().rows().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale, bench_pattern_length);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! The "quick neighbor-lookup" claim (§1): retrieving a paper's authors
+//! through the TGM adjacency index vs. executing the equivalent relational
+//! join.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etable_datagen::GenConfig;
+use etable_relational::sql::executor::execute_query;
+use etable_relational::sql::parse_statement;
+
+fn bench_neighbor(c: &mut Criterion) {
+    let (db, tgdb) = etable_bench::dataset(&GenConfig::small().with_papers(1000));
+    let (papers, _) = tgdb.schema.node_type_by_name("Papers").unwrap();
+    let (authors_edge, _) = tgdb.schema.outgoing_by_name(papers, "Authors").unwrap();
+    let nodes: Vec<_> = tgdb.instances.nodes_of_type(papers).to_vec();
+
+    let mut group = c.benchmark_group("neighbor");
+    // TGM: adjacency probe per paper.
+    group.bench_function("tgm_adjacency", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let n = nodes[i % nodes.len()];
+            i += 1;
+            tgdb.instances.neighbors(authors_edge, n).len()
+        })
+    });
+    // Relational: a 3-table join filtered to one paper id.
+    let stmt = parse_statement(
+        "SELECT a.name FROM Papers p, Paper_Authors pa, Authors a \
+         WHERE p.id = pa.paper_id AND pa.author_id = a.id AND p.id = 500",
+    )
+    .unwrap();
+    let q = match stmt {
+        etable_relational::sql::Statement::Select(q) => q,
+        _ => unreachable!(),
+    };
+    group.bench_function("relational_join", |b| {
+        b.iter(|| execute_query(&db, &q).unwrap().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_neighbor);
+criterion_main!(benches);

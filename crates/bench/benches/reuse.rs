@@ -1,0 +1,58 @@
+//! §9 future-work item (2): "accelerating the execution speed of updated
+//! queries (e.g., by reusing intermediate results)". Compares cold
+//! re-execution of a history of patterns against the session cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etable_core::cache::QueryCache;
+use etable_core::pattern::{NodeFilter, QueryPattern};
+use etable_core::{matching, ops};
+use etable_datagen::GenConfig;
+use etable_relational::expr::CmpOp;
+use etable_tgm::Tgdb;
+
+/// A browsing history: filter, pivot, revert, repeat — patterns recur, as
+/// they do when users revert or re-run steps.
+fn history(tgdb: &Tgdb) -> Vec<QueryPattern> {
+    let (papers, _) = tgdb.schema.node_type_by_name("Papers").unwrap();
+    let base = ops::initiate(tgdb, papers).unwrap();
+    let filtered = ops::select(tgdb, &base, NodeFilter::cmp("year", CmpOp::Gt, 2005)).unwrap();
+    let (ae, _) = tgdb.schema.outgoing_by_name(papers, "Authors").unwrap();
+    let pivoted = ops::add(tgdb, &filtered, ae).unwrap();
+    // Revert-style repetitions.
+    vec![
+        base.clone(),
+        filtered.clone(),
+        pivoted.clone(),
+        filtered.clone(),
+        pivoted.clone(),
+        base,
+        filtered,
+        pivoted,
+    ]
+}
+
+fn bench_reuse(c: &mut Criterion) {
+    let (_, tgdb) = etable_bench::dataset(&GenConfig::small().with_papers(1000));
+    let hist = history(&tgdb);
+    let mut group = c.benchmark_group("reuse");
+    group.sample_size(15);
+    group.bench_function("cold_reexecution", |b| {
+        b.iter(|| {
+            hist.iter()
+                .map(|q| matching::match_primary(&tgdb, q).unwrap().rows().len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("cached_session", |b| {
+        b.iter(|| {
+            let mut cache = QueryCache::new();
+            hist.iter()
+                .map(|q| cache.get_or_compute(&tgdb, q).unwrap().rows().len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reuse);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Format-transformation cost (§5.4.2) vs. result size: building the
+//! enriched table (base + participating + neighbor columns) from a
+//! matching result.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use etable_core::{matching, ops, transform};
+use etable_datagen::GenConfig;
+
+fn bench_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transform/rows");
+    group.sample_size(20);
+    for papers in [300usize, 1000, 3000] {
+        let (_, tgdb) = etable_bench::dataset(&GenConfig::small().with_papers(papers));
+        let (papers_ty, _) = tgdb.schema.node_type_by_name("Papers").unwrap();
+        let q = ops::initiate(&tgdb, papers_ty).unwrap();
+        let (ae, _) = tgdb.schema.outgoing_by_name(papers_ty, "Authors").unwrap();
+        let q = ops::add(&tgdb, &q, ae).unwrap();
+        let q = ops::shift(&q, etable_core::pattern::PatternNodeId(0)).unwrap();
+        let m = matching::match_primary(&tgdb, &q).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(papers), &papers, |b, _| {
+            b.iter(|| transform::transform(&tgdb, &m).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transform);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Appendix A translation throughput: reverse engineering the relational
+//! database into TGDB schema + instance graphs, vs. dataset scale. The
+//! paper performs this once as a preprocessing step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use etable_datagen::{generate, GenConfig};
+use etable_tgm::{translate, TranslateOptions};
+
+fn bench_translate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translate/scale");
+    group.sample_size(10);
+    for papers in [300usize, 1000, 3000] {
+        let db = generate(&GenConfig::small().with_papers(papers));
+        group.bench_with_input(BenchmarkId::from_parameter(papers), &papers, |b, _| {
+            b.iter(|| {
+                translate(&db, &TranslateOptions::default())
+                    .unwrap()
+                    .instances
+                    .node_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_translate);
+criterion_main!(benches);

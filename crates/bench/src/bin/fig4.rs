@@ -1,0 +1,13 @@
+//! Figure 4: the TGDB schema graph constructed from the Figure 3 schema.
+
+use etable_core::render::render_schema;
+
+fn main() {
+    let (_, tgdb) = etable_bench::default_dataset();
+    println!("{}", render_schema(&tgdb));
+    println!(
+        "{} node types, {} edge types (counting directions separately)",
+        tgdb.schema.node_type_count(),
+        tgdb.schema.edge_type_count()
+    );
+}

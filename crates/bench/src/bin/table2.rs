@@ -1,0 +1,30 @@
+//! Table 2: the six user-study tasks with categories, relation counts, and
+//! (beyond the paper) their ground-truth answer sizes on the synthetic
+//! data set.
+
+use etable_datagen::{ground_truth, task_set, TaskSet};
+
+fn main() {
+    let (db, _) = etable_bench::default_dataset();
+    println!("== Table 2: study tasks ==\n");
+    let header = ["#", "Task", "Category", "#Relations", "answer size"];
+    println!(
+        "{:<4} {:<86} {:<10} {:<10} {}",
+        header[0], header[1], header[2], header[3], header[4]
+    );
+    for task in task_set(TaskSet::A) {
+        let answer = ground_truth(&db, &task);
+        println!(
+            "{:<4} {:<86} {:<10} {:<10} {}",
+            task.number,
+            task.description,
+            task.category.to_string(),
+            task.relations,
+            answer.len()
+        );
+    }
+    println!("\nmatched set B (same categories, different parameters):");
+    for task in task_set(TaskSet::B) {
+        println!("  {}. {}", task.number, task.description);
+    }
+}

@@ -1,0 +1,20 @@
+//! Table 3: subjective ratings about ETable — regenerated as a documented
+//! synthetic proxy anchored to the simulated study's measured speedups.
+
+use etable_study::ratings::{preferences, render_preferences, render_table3, table3};
+use etable_study::{run_study, StudyConfig};
+
+fn main() {
+    let (_, tgdb) = etable_bench::default_dataset();
+    let results = run_study(&tgdb, &StudyConfig::default());
+    let rows = table3(&results);
+    println!("{}", render_table3(&rows));
+    println!("{}", render_preferences(&preferences(&results)));
+    let speedups = results.speedups();
+    println!(
+        "participant speedups (navicat/etable): min {:.2}x  mean {:.2}x  max {:.2}x",
+        speedups.iter().cloned().fold(f64::MAX, f64::min),
+        speedups.iter().sum::<f64>() / speedups.len() as f64,
+        speedups.iter().cloned().fold(f64::MIN, f64::max),
+    );
+}

@@ -1,0 +1,52 @@
+//! # etable-bench
+//!
+//! Harness binaries regenerating every table and figure of the ETable
+//! paper (`src/bin/fig*.rs`, `src/bin/table*.rs`) and Criterion
+//! micro-benchmarks for the performance/ablation studies listed in
+//! DESIGN.md (`benches/`).
+//!
+//! Run a figure with e.g. `cargo run -p etable-bench --bin fig10`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use etable_datagen::{generate, GenConfig};
+use etable_relational::database::Database;
+use etable_tgm::{translate, Tgdb, TranslateOptions};
+
+/// Builds the default evaluation dataset (medium scale) and its TGDB.
+pub fn default_dataset() -> (Database, Tgdb) {
+    dataset(&GenConfig::medium())
+}
+
+/// Builds a dataset at an arbitrary scale and its TGDB.
+pub fn dataset(cfg: &GenConfig) -> (Database, Tgdb) {
+    let db = generate(cfg);
+    let tgdb = translate(&db, &TranslateOptions::default()).expect("translation succeeds");
+    (db, tgdb)
+}
+
+/// Reads `ETABLE_SCALE` (number of papers) from the environment, defaulting
+/// to the medium configuration — lets figure binaries run at paper scale
+/// with `ETABLE_SCALE=38000`.
+pub fn scale_from_env() -> GenConfig {
+    match std::env::var("ETABLE_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        Some(n) => GenConfig::medium().with_papers(n),
+        None => GenConfig::medium(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_dataset_translates() {
+        let (db, tgdb) = default_dataset();
+        assert_eq!(db.table("Papers").unwrap().len(), 3000);
+        assert!(tgdb.schema.node_type_count() >= 4);
+    }
+}

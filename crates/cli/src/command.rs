@@ -1,0 +1,362 @@
+//! The CLI command language: a line-oriented front-end for the paper's
+//! user-level actions (§6.1) plus inspection and export commands.
+//!
+//! ```text
+//! tables                        list entity types (default table list)
+//! open <table>                  Open action
+//! filter <attr> <op> <value>    Filter action (=, <>, <, <=, >, >=, like)
+//! filter-ref <column> <pattern> filter by neighbor labels (subquery filter)
+//! pivot <column>                Pivot action (add/shift)
+//! single <row#> <column> <k>    click the k-th reference in a cell
+//! seeall <row#> <column>        click a cell's reference count
+//! sort <column> [asc|desc]      sort rows
+//! hide <column> / show <column> toggle columns
+//! focus <k>                     keep only the k best columns
+//! revert <step#>                revert to a history step
+//! show-table [n]                render the current ETable (n rows)
+//! schema                        render the pattern diagram
+//! history                       list history steps
+//! sql                           show the §8 SQL for the current pattern
+//! explain                       show the engine's plan for that SQL
+//! export json|csv               dump the current table
+//! help                          this text
+//! quit                          exit
+//! ```
+
+use etable_relational::expr::CmpOp;
+use etable_relational::value::Value;
+
+/// A parsed CLI command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List entity tables.
+    Tables,
+    /// Open a table.
+    Open(String),
+    /// Filter the primary node type on an attribute.
+    Filter {
+        /// Attribute name.
+        attr: String,
+        /// Comparison operator, or LIKE when `like` is set.
+        op: FilterOp,
+        /// Literal value / pattern.
+        value: String,
+    },
+    /// Filter by neighbor-column labels.
+    FilterRef {
+        /// Column name.
+        column: String,
+        /// LIKE pattern.
+        pattern: String,
+    },
+    /// Pivot on a column.
+    Pivot(String),
+    /// Click the k-th entity reference of a row/column cell.
+    Single {
+        /// 1-based row number in the rendered table.
+        row: usize,
+        /// Column name.
+        column: String,
+        /// 1-based reference index in the cell.
+        index: usize,
+    },
+    /// Click a cell's count.
+    Seeall {
+        /// 1-based row number.
+        row: usize,
+        /// Column name.
+        column: String,
+    },
+    /// Sort by a column.
+    Sort {
+        /// Column name.
+        column: String,
+        /// Descending?
+        descending: bool,
+    },
+    /// Hide a column.
+    Hide(String),
+    /// Show a hidden column.
+    Show(String),
+    /// Keep only the k most informative columns.
+    Focus(usize),
+    /// Revert to a 1-based history step.
+    Revert(usize),
+    /// Render the current table with an optional row limit.
+    ShowTable(Option<usize>),
+    /// Render the pattern diagram.
+    Schema,
+    /// List history.
+    History,
+    /// Show the §8 SQL translation.
+    Sql,
+    /// Show the relational engine's plan for the current pattern's SQL.
+    Explain,
+    /// Export the current table.
+    Export(ExportFormat),
+    /// Print help.
+    Help,
+    /// Exit.
+    Quit,
+}
+
+/// Filter operators accepted by `filter`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterOp {
+    /// A comparison operator.
+    Cmp(CmpOp),
+    /// SQL LIKE.
+    Like,
+}
+
+/// Export formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportFormat {
+    /// JSON interchange form.
+    Json,
+    /// Flat CSV.
+    Csv,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Splits a command line into tokens, honoring single and double quotes so
+/// multi-word values (`filter title = 'Making database systems usable'`)
+/// stay together.
+pub fn tokenize(line: &str) -> Result<Vec<String>, ParseError> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut quote: Option<char> = None;
+    for c in line.chars() {
+        match (quote, c) {
+            (Some(q), c) if c == q => quote = None,
+            (Some(_), c) => cur.push(c),
+            (None, '\'') | (None, '"') => quote = Some(c),
+            (None, c) if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            (None, c) => cur.push(c),
+        }
+    }
+    if quote.is_some() {
+        return Err(ParseError("unterminated quote".into()));
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    Ok(out)
+}
+
+/// Parses one command line; empty lines yield `None`.
+pub fn parse(line: &str) -> Result<Option<Command>, ParseError> {
+    let tokens = tokenize(line)?;
+    let Some(head) = tokens.first() else {
+        return Ok(None);
+    };
+    let arg = |i: usize| -> Result<&str, ParseError> {
+        tokens
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| ParseError(format!("`{head}` needs more arguments; try `help`")))
+    };
+    let num = |i: usize| -> Result<usize, ParseError> {
+        arg(i)?
+            .parse()
+            .map_err(|_| ParseError(format!("`{}` is not a number", tokens[i])))
+    };
+    let cmd = match head.to_ascii_lowercase().as_str() {
+        "tables" => Command::Tables,
+        "open" => Command::Open(arg(1)?.to_string()),
+        "filter" => {
+            let attr = arg(1)?.to_string();
+            let op = match arg(2)?.to_ascii_lowercase().as_str() {
+                "=" | "==" => FilterOp::Cmp(CmpOp::Eq),
+                "<>" | "!=" => FilterOp::Cmp(CmpOp::Ne),
+                "<" => FilterOp::Cmp(CmpOp::Lt),
+                "<=" => FilterOp::Cmp(CmpOp::Le),
+                ">" => FilterOp::Cmp(CmpOp::Gt),
+                ">=" => FilterOp::Cmp(CmpOp::Ge),
+                "like" => FilterOp::Like,
+                other => return Err(ParseError(format!("unknown operator `{other}`"))),
+            };
+            Command::Filter {
+                attr,
+                op,
+                value: arg(3)?.to_string(),
+            }
+        }
+        "filter-ref" => Command::FilterRef {
+            column: arg(1)?.to_string(),
+            pattern: arg(2)?.to_string(),
+        },
+        "pivot" => Command::Pivot(arg(1)?.to_string()),
+        "single" => Command::Single {
+            row: num(1)?,
+            column: arg(2)?.to_string(),
+            index: num(3)?,
+        },
+        "seeall" => Command::Seeall {
+            row: num(1)?,
+            column: arg(2)?.to_string(),
+        },
+        "sort" => {
+            let column = arg(1)?.to_string();
+            let descending = match tokens.get(2).map(|s| s.to_ascii_lowercase()) {
+                None => true,
+                Some(s) if s == "desc" => true,
+                Some(s) if s == "asc" => false,
+                Some(other) => return Err(ParseError(format!("expected asc/desc, got `{other}`"))),
+            };
+            Command::Sort { column, descending }
+        }
+        "hide" => Command::Hide(arg(1)?.to_string()),
+        "show" => Command::Show(arg(1)?.to_string()),
+        "focus" => Command::Focus(num(1)?),
+        "revert" => Command::Revert(num(1)?),
+        "show-table" | "table" => Command::ShowTable(tokens.get(1).map(|_| num(1)).transpose()?),
+        "schema" => Command::Schema,
+        "history" => Command::History,
+        "sql" => Command::Sql,
+        "explain" => Command::Explain,
+        "export" => match arg(1)?.to_ascii_lowercase().as_str() {
+            "json" => Command::Export(ExportFormat::Json),
+            "csv" => Command::Export(ExportFormat::Csv),
+            other => return Err(ParseError(format!("unknown export format `{other}`"))),
+        },
+        "help" | "?" => Command::Help,
+        "quit" | "exit" | "q" => Command::Quit,
+        other => return Err(ParseError(format!("unknown command `{other}`; try `help`"))),
+    };
+    Ok(Some(cmd))
+}
+
+/// Parses a CLI literal: integers stay integers, everything else is text.
+pub fn parse_value(s: &str) -> Value {
+    if let Ok(i) = s.parse::<i64>() {
+        Value::Int(i)
+    } else if let Ok(f) = s.parse::<f64>() {
+        Value::Float(f)
+    } else {
+        Value::Text(s.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_honors_quotes() {
+        assert_eq!(
+            tokenize("filter title = 'Making database systems usable'").unwrap(),
+            vec!["filter", "title", "=", "Making database systems usable"]
+        );
+        assert_eq!(tokenize("a \"b c\" d").unwrap(), vec!["a", "b c", "d"]);
+        assert!(tokenize("open 'unterminated").is_err());
+    }
+
+    #[test]
+    fn parses_all_action_commands() {
+        assert_eq!(parse("tables").unwrap(), Some(Command::Tables));
+        assert_eq!(
+            parse("open Papers").unwrap(),
+            Some(Command::Open("Papers".into()))
+        );
+        assert_eq!(
+            parse("filter year >= 2005").unwrap(),
+            Some(Command::Filter {
+                attr: "year".into(),
+                op: FilterOp::Cmp(CmpOp::Ge),
+                value: "2005".into()
+            })
+        );
+        assert_eq!(
+            parse("filter title like '%user%'").unwrap(),
+            Some(Command::Filter {
+                attr: "title".into(),
+                op: FilterOp::Like,
+                value: "%user%".into()
+            })
+        );
+        assert_eq!(
+            parse("pivot Authors").unwrap(),
+            Some(Command::Pivot("Authors".into()))
+        );
+        assert_eq!(
+            parse("seeall 2 Authors").unwrap(),
+            Some(Command::Seeall {
+                row: 2,
+                column: "Authors".into()
+            })
+        );
+        assert_eq!(
+            parse("single 1 Authors 2").unwrap(),
+            Some(Command::Single {
+                row: 1,
+                column: "Authors".into(),
+                index: 2
+            })
+        );
+        assert_eq!(
+            parse("sort Papers desc").unwrap(),
+            Some(Command::Sort {
+                column: "Papers".into(),
+                descending: true
+            })
+        );
+        assert_eq!(
+            parse("sort year asc").unwrap(),
+            Some(Command::Sort {
+                column: "year".into(),
+                descending: false
+            })
+        );
+        assert_eq!(parse("focus 5").unwrap(), Some(Command::Focus(5)));
+        assert_eq!(parse("revert 1").unwrap(), Some(Command::Revert(1)));
+        assert_eq!(
+            parse("export json").unwrap(),
+            Some(Command::Export(ExportFormat::Json))
+        );
+        assert_eq!(parse("q").unwrap(), Some(Command::Quit));
+    }
+
+    #[test]
+    fn empty_and_bad_lines() {
+        assert_eq!(parse("").unwrap(), None);
+        assert_eq!(parse("   ").unwrap(), None);
+        assert!(parse("frobnicate").is_err());
+        assert!(parse("filter year").is_err());
+        assert!(parse("filter year ~~ 3").is_err());
+        assert!(parse("single one Authors 1").is_err());
+        assert!(parse("export yaml").is_err());
+        assert!(parse("sort year sideways").is_err());
+    }
+
+    #[test]
+    fn show_table_row_limit() {
+        assert_eq!(parse("show-table").unwrap(), Some(Command::ShowTable(None)));
+        assert_eq!(
+            parse("show-table 25").unwrap(),
+            Some(Command::ShowTable(Some(25)))
+        );
+    }
+
+    #[test]
+    fn value_parsing() {
+        assert_eq!(parse_value("42"), Value::Int(42));
+        assert_eq!(parse_value("4.5"), Value::Float(4.5));
+        assert_eq!(parse_value("SIGMOD"), Value::Text("SIGMOD".into()));
+    }
+}

@@ -1,0 +1,381 @@
+//! The CLI interpreter: applies parsed [`Command`]s to an ETable
+//! [`Session`] and produces the text to print. Fully testable without a
+//! terminal.
+
+use crate::command::{parse_value, Command, ExportFormat, FilterOp, ParseError};
+use etable_core::export;
+use etable_core::pattern::{FilterAtom, NodeFilter};
+use etable_core::render::{render_etable, RenderOptions};
+use etable_core::session::Session;
+use etable_core::sql_translate;
+use etable_relational::database::Database;
+use etable_tgm::Tgdb;
+
+/// The interpreter state.
+pub struct Engine<'a> {
+    session: Session<'a>,
+    tgdb: &'a Tgdb,
+    db: &'a Database,
+    /// Set once `quit` has been executed.
+    pub done: bool,
+}
+
+/// Outcome of one command.
+pub type CmdResult = Result<String, String>;
+
+impl<'a> Engine<'a> {
+    /// Creates an engine over a translated database.
+    pub fn new(db: &'a Database, tgdb: &'a Tgdb) -> Self {
+        Engine {
+            session: Session::new(tgdb),
+            tgdb,
+            db,
+            done: false,
+        }
+    }
+
+    /// Parses and executes one input line.
+    pub fn eval_line(&mut self, line: &str) -> CmdResult {
+        match crate::command::parse(line) {
+            Ok(None) => Ok(String::new()),
+            Ok(Some(cmd)) => self.eval(cmd),
+            Err(ParseError(m)) => Err(m),
+        }
+    }
+
+    /// Executes one parsed command.
+    pub fn eval(&mut self, cmd: Command) -> CmdResult {
+        match cmd {
+            Command::Quit => {
+                self.done = true;
+                Ok("bye".into())
+            }
+            Command::Help => Ok(HELP.trim().to_string()),
+            Command::Tables => {
+                let names: Vec<String> = self
+                    .session
+                    .default_table_list()
+                    .into_iter()
+                    .map(|(_, n)| n)
+                    .collect();
+                Ok(names.join("\n"))
+            }
+            Command::Open(name) => {
+                self.session
+                    .open_by_name(&name)
+                    .map_err(|e| e.to_string())?;
+                self.render_current(None)
+            }
+            Command::Filter { attr, op, value } => {
+                let filter = match op {
+                    FilterOp::Cmp(op) => NodeFilter::cmp(attr, op, parse_value(&value)),
+                    FilterOp::Like => NodeFilter::like(attr, value),
+                };
+                self.session.filter(filter).map_err(|e| e.to_string())?;
+                self.render_current(None)
+            }
+            Command::FilterRef { column, pattern } => {
+                // Resolve the column to an edge type of the primary.
+                let q = self
+                    .session
+                    .current_pattern()
+                    .ok_or("no table is open")?;
+                let primary_ty = q.primary_node().node_type;
+                let (edge, _) = self
+                    .tgdb
+                    .schema
+                    .outgoing_by_name(primary_ty, &column)
+                    .ok_or_else(|| format!("no neighbor column `{column}`"))?;
+                self.session
+                    .filter(NodeFilter::atom(FilterAtom::NeighborLabelLike {
+                        edge,
+                        pattern,
+                    }))
+                    .map_err(|e| e.to_string())?;
+                self.render_current(None)
+            }
+            Command::Pivot(column) => {
+                self.session.pivot(&column).map_err(|e| e.to_string())?;
+                self.render_current(None)
+            }
+            Command::Single { row, column, index } => {
+                let node = self.resolve_ref(row, &column, index)?;
+                self.session.single(node).map_err(|e| e.to_string())?;
+                self.render_current(None)
+            }
+            Command::Seeall { row, column } => {
+                let t = self.session.etable().map_err(|e| e.to_string())?;
+                let r = t
+                    .rows
+                    .get(row.checked_sub(1).ok_or("rows are numbered from 1")?)
+                    .ok_or_else(|| format!("no row {row}"))?;
+                let node = r.node;
+                self.session
+                    .seeall(node, &column)
+                    .map_err(|e| e.to_string())?;
+                self.render_current(None)
+            }
+            Command::Sort { column, descending } => {
+                self.session.sort(&column, descending);
+                self.render_current(None)
+            }
+            Command::Hide(c) => {
+                self.session.hide(&c);
+                self.render_current(None)
+            }
+            Command::Show(c) => {
+                self.session.show(&c);
+                self.render_current(None)
+            }
+            Command::Focus(k) => {
+                let kept = self
+                    .session
+                    .focus_top_columns(k)
+                    .map_err(|e| e.to_string())?;
+                Ok(format!("keeping columns: {}", kept.join(", ")))
+            }
+            Command::Revert(step) => {
+                self.session
+                    .revert(step.checked_sub(1).ok_or("steps are numbered from 1")?)
+                    .map_err(|e| e.to_string())?;
+                self.render_current(None)
+            }
+            Command::ShowTable(limit) => self.render_current(limit),
+            Command::Schema => {
+                let q = self
+                    .session
+                    .current_pattern()
+                    .ok_or("no table is open")?;
+                Ok(q.diagram(self.tgdb))
+            }
+            Command::History => {
+                let lines: Vec<String> = self
+                    .session
+                    .history()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| format!("{}. {}", i + 1, s.description))
+                    .collect();
+                Ok(lines.join("\n"))
+            }
+            Command::Sql => {
+                let q = self
+                    .session
+                    .current_pattern()
+                    .ok_or("no table is open")?;
+                let display = sql_translate::to_sql(self.tgdb, self.db, q)
+                    .map_err(|e| e.to_string())?;
+                let exec = sql_translate::to_primary_sql(self.tgdb, self.db, q)
+                    .map_err(|e| e.to_string())?;
+                Ok(format!("{display}\n-- primary keys:\n{exec}"))
+            }
+            Command::Explain => {
+                let q = self
+                    .session
+                    .current_pattern()
+                    .ok_or("no table is open")?;
+                let sql = sql_translate::to_primary_sql(self.tgdb, self.db, q)
+                    .map_err(|e| e.to_string())?;
+                let mut db = self.db.clone();
+                let rel =
+                    etable_relational::sql::execute(&mut db, &format!("EXPLAIN {sql}"))
+                        .map_err(|e| e.to_string())?;
+                let lines: Vec<String> =
+                    rel.rows.iter().map(|r| r[0].to_string()).collect();
+                Ok(format!("{sql}
+--
+{}", lines.join("
+")))
+            }
+            Command::Export(format) => {
+                let t = self.session.etable().map_err(|e| e.to_string())?;
+                Ok(match format {
+                    ExportFormat::Json => export::to_json(&t),
+                    ExportFormat::Csv => export::to_csv(&t),
+                })
+            }
+        }
+    }
+
+    fn render_current(&mut self, limit: Option<usize>) -> CmdResult {
+        let t = self.session.etable().map_err(|e| e.to_string())?;
+        let opts = RenderOptions {
+            max_rows: limit.unwrap_or(12),
+            ..Default::default()
+        };
+        Ok(render_etable(&t, &opts))
+    }
+
+    fn resolve_ref(&mut self, row: usize, column: &str, index: usize) -> Result<etable_tgm::NodeId, String> {
+        let t = self.session.etable().map_err(|e| e.to_string())?;
+        let r = t
+            .rows
+            .get(row.checked_sub(1).ok_or("rows are numbered from 1")?)
+            .ok_or_else(|| format!("no row {row}"))?;
+        let ci = t
+            .column_index(column)
+            .ok_or_else(|| format!("no column `{column}`"))?;
+        let refs = r.cells[ci]
+            .refs()
+            .ok_or_else(|| format!("column `{column}` holds plain values, not references"))?;
+        refs.get(index.checked_sub(1).ok_or("references are numbered from 1")?)
+            .map(|e| e.node)
+            .ok_or_else(|| format!("cell has only {} reference(s)", refs.len()))
+    }
+}
+
+/// Help text, kept next to the parser's grammar.
+pub const HELP: &str = r#"
+commands:
+  tables                        list entity types
+  open <table>                  open a table
+  filter <attr> <op> <value>    filter rows (=, <>, <, <=, >, >=, like)
+  filter-ref <column> <pattern> filter by neighbor labels
+  pivot <column>                pivot on a column (join / change focus)
+  single <row#> <column> <k>    follow the k-th reference in a cell
+  seeall <row#> <column>        list all entities behind a cell's count
+  sort <column> [asc|desc]      sort rows (ref columns sort by count)
+  hide <column> / show <column> toggle columns
+  focus <k>                     keep only the k best columns
+  revert <step#>                go back to a history step
+  show-table [n]                render the current table
+  schema | history | sql        inspect the session
+  explain                       show the engine's plan for the pattern's SQL
+  export json|csv               dump the current table
+  quit                          exit
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etable_datagen::{generate, GenConfig};
+    use etable_tgm::{translate, TranslateOptions};
+    use std::sync::OnceLock;
+
+    fn env() -> &'static (Database, Tgdb) {
+        static ENV: OnceLock<(Database, Tgdb)> = OnceLock::new();
+        ENV.get_or_init(|| {
+            let db = generate(&GenConfig::small());
+            let tgdb = translate(&db, &TranslateOptions::default()).unwrap();
+            (db, tgdb)
+        })
+    }
+
+    fn run(lines: &[&str]) -> Vec<CmdResult> {
+        let (db, tgdb) = env();
+        let mut engine = Engine::new(db, tgdb);
+        lines.iter().map(|l| engine.eval_line(l)).collect()
+    }
+
+    #[test]
+    fn full_browsing_session() {
+        let out = run(&[
+            "tables",
+            "open Conferences",
+            "filter acronym = SIGMOD",
+            "pivot Papers",
+            "filter year > 2005",
+            "pivot Authors",
+            "sort Papers desc",
+            "history",
+            "schema",
+            "sql",
+        ]);
+        for (i, r) in out.iter().enumerate() {
+            assert!(r.is_ok(), "command {i}: {r:?}");
+        }
+        assert!(out[0].as_ref().unwrap().contains("Papers"));
+        assert!(out[7].as_ref().unwrap().contains("5. Pivot to 'Authors'"));
+        assert!(out[8].as_ref().unwrap().contains("Authors *"));
+        assert!(out[9].as_ref().unwrap().contains("GROUP BY"));
+    }
+
+    #[test]
+    fn seeall_and_single_follow_references() {
+        let out = run(&[
+            "open Papers",
+            "filter title = 'Making database systems usable'",
+            "seeall 1 Authors",
+        ]);
+        let last = out.last().unwrap().as_ref().unwrap();
+        assert!(last.contains("== Authors"), "{last}");
+        // 7 planted authors on the usable paper.
+        assert!(last.contains("| "), "{last}");
+
+        let out = run(&[
+            "open Papers",
+            "filter title = 'Making database systems usable'",
+            "single 1 Authors 1",
+        ]);
+        let last = out.last().unwrap().as_ref().unwrap();
+        assert!(last.contains("== Authors"), "{last}");
+    }
+
+    #[test]
+    fn filter_ref_is_the_keyword_subquery() {
+        let out = run(&[
+            "open Papers",
+            "filter-ref 'Paper_Keywords: keyword' %user%",
+        ]);
+        assert!(out[1].is_ok(), "{:?}", out[1]);
+        let text = out[1].as_ref().unwrap();
+        assert!(text.contains("filtered by"), "{text}");
+    }
+
+    #[test]
+    fn explain_shows_plan() {
+        let out = run(&[
+            "open Conferences",
+            "filter acronym = SIGMOD",
+            "pivot Papers",
+            "explain",
+        ]);
+        let text = out.last().unwrap().as_ref().unwrap();
+        assert!(text.contains("SELECT DISTINCT"), "{text}");
+        assert!(text.contains("pushdown"), "{text}");
+        assert!(text.contains("output:"), "{text}");
+    }
+
+    #[test]
+    fn export_formats() {
+        let out = run(&["open Conferences", "export json", "export csv"]);
+        assert!(out[1].as_ref().unwrap().starts_with("{\"primary\":\"Conferences\""));
+        assert!(out[2].as_ref().unwrap().starts_with("id,acronym,title"));
+    }
+
+    #[test]
+    fn errors_are_messages_not_panics() {
+        let out = run(&[
+            "pivot Authors",      // nothing open
+            "open Nope",          // unknown table
+            "open Papers",
+            "filter nope = 3",    // unknown attribute
+            "pivot year",         // base column
+            "seeall 9999 Authors", // bad row
+            "single 1 title 1",   // atomic column
+            "gibberish",
+        ]);
+        for (i, r) in out.iter().enumerate() {
+            if i == 2 {
+                assert!(r.is_ok());
+            } else {
+                assert!(r.is_err(), "command {i} should fail: {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn focus_and_revert() {
+        let out = run(&["open Papers", "focus 3", "show-table 2", "revert 1"]);
+        assert!(out[1].as_ref().unwrap().starts_with("keeping columns:"));
+        assert!(out[3].is_ok());
+    }
+
+    #[test]
+    fn quit_sets_done() {
+        let (db, tgdb) = env();
+        let mut engine = Engine::new(db, tgdb);
+        engine.eval_line("quit").unwrap();
+        assert!(engine.done);
+    }
+}

@@ -1,0 +1,15 @@
+//! # etable-cli
+//!
+//! A line-oriented interactive front-end for the ETable presentation data
+//! model — the text-mode counterpart of the paper's web interface (§6.2's
+//! three-tier architecture collapses to: this binary, the `etable-core`
+//! session layer, and the in-memory engine).
+//!
+//! * [`command`] — the command grammar and parser,
+//! * [`engine`] — the interpreter applying commands to a session.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod command;
+pub mod engine;

@@ -1,0 +1,76 @@
+//! `etable` — an interactive command-line front-end for browsing a
+//! relational database through the ETable presentation data model.
+//!
+//! ```text
+//! $ cargo run -p etable-cli --bin etable
+//! etable> open Papers
+//! etable> filter year >= 2014
+//! etable> pivot Authors
+//! etable> sort Papers desc
+//! etable> sql
+//! ```
+//!
+//! By default it loads the synthetic academic database (use
+//! `ETABLE_SCALE=<papers>` to change the size, `ETABLE_SEED=<n>` for a
+//! different world). Commands also stream from stdin, so the binary works
+//! in pipes: `echo -e "open Papers\nshow-table 3" | etable`.
+
+use etable_cli::engine::Engine;
+use etable_datagen::{generate, GenConfig};
+use etable_tgm::{translate, TranslateOptions};
+use std::io::{BufRead, IsTerminal, Write};
+
+fn main() {
+    let mut cfg = GenConfig::medium();
+    if let Some(n) = std::env::var("ETABLE_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        cfg = cfg.with_papers(n);
+    }
+    if let Some(seed) = std::env::var("ETABLE_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        cfg.seed = seed;
+    }
+    eprintln!(
+        "loading synthetic academic database ({} papers)...",
+        cfg.papers
+    );
+    let db = generate(&cfg);
+    let tgdb = translate(&db, &TranslateOptions::default()).expect("translation");
+    eprintln!(
+        "ready: {} nodes, {} edges. Type `help` for commands.",
+        tgdb.instances.node_count(),
+        tgdb.instances.edge_count()
+    );
+
+    let mut engine = Engine::new(&db, &tgdb);
+    let stdin = std::io::stdin();
+    let interactive = stdin.is_terminal();
+    let mut out = std::io::stdout();
+    loop {
+        if interactive {
+            print!("etable> ");
+            let _ = out.flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        match engine.eval_line(&line) {
+            Ok(text) if text.is_empty() => {}
+            Ok(text) => println!("{text}"),
+            Err(msg) => eprintln!("error: {msg}"),
+        }
+        if engine.done {
+            break;
+        }
+    }
+}

@@ -1,0 +1,585 @@
+//! Seeded synthetic generator for the academic database.
+//!
+//! Reproduces the *statistical shape* of the paper's DBLP/ACM crawl: ~38k
+//! papers at 19 conferences since 2000, skewed authorship and citation
+//! distributions, and multi-keyword papers. Entities the Table 2 tasks and
+//! the Figure 1/6/7 example queries refer to are planted deterministically
+//! so every experiment has a non-trivial answer (see DESIGN.md,
+//! "Substitutions").
+
+use crate::names;
+use crate::schema::academic_schema;
+use etable_relational::database::Database;
+use etable_relational::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// RNG seed; equal seeds produce identical databases.
+    pub seed: u64,
+    /// Number of papers.
+    pub papers: usize,
+    /// Number of authors.
+    pub authors: usize,
+    /// Publication year range (inclusive).
+    pub years: (i64, i64),
+    /// Mean authors per paper (skewed; clamped to `1..=12`).
+    pub mean_authors: f64,
+    /// Mean keywords per paper (skewed; clamped to `1..=10`).
+    pub mean_keywords: f64,
+    /// Mean references per paper (skewed; clamped to `0..=30`).
+    pub mean_refs: f64,
+}
+
+impl GenConfig {
+    /// A small configuration for unit tests (hundreds of rows).
+    pub fn small() -> Self {
+        GenConfig {
+            seed: 42,
+            papers: 300,
+            authors: 220,
+            years: (2000, 2015),
+            mean_authors: 2.8,
+            mean_keywords: 4.0,
+            mean_refs: 5.0,
+        }
+    }
+
+    /// The default medium configuration (a few thousand rows, fast enough
+    /// for integration tests and examples).
+    pub fn medium() -> Self {
+        GenConfig {
+            papers: 3000,
+            authors: 2000,
+            ..Self::small()
+        }
+    }
+
+    /// The paper-scale configuration: ~38,000 papers (§7.1).
+    pub fn paper_scale() -> Self {
+        GenConfig {
+            papers: 38_000,
+            authors: 24_000,
+            ..Self::small()
+        }
+    }
+
+    /// A copy with a different number of papers (authors scale along),
+    /// used by benchmark sweeps.
+    pub fn with_papers(&self, papers: usize) -> Self {
+        GenConfig {
+            papers,
+            authors: (papers * 2 / 3).max(30),
+            ..self.clone()
+        }
+    }
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        Self::medium()
+    }
+}
+
+/// Draws a skewed (exponential) count with the given mean, clamped.
+fn skewed_count(rng: &mut StdRng, mean: f64, min: usize, max: usize) -> usize {
+    let u: f64 = rng.gen_range(0.0_f64..1.0).max(1e-12);
+    let x = (-mean * u.ln()).round() as usize;
+    x.clamp(min, max)
+}
+
+/// Samples an index with Zipf-like weights `1/(i+1)` over `n` items.
+fn zipf(rng: &mut StdRng, n: usize) -> usize {
+    // Inverse-CDF on the harmonic distribution, approximated by
+    // exp-distributed rank.
+    let u: f64 = rng.gen_range(0.0_f64..1.0);
+    let h = ((n as f64).ln_1p()).exp(); // ~ n+1
+    let r = (h.powf(u) - 1.0) as usize;
+    r.min(n - 1)
+}
+
+/// IDs of the planted entities (stable across seeds).
+pub mod planted {
+    /// Paper id of "Making database systems usable" (task 1 target).
+    pub const USABLE_PAPER: i64 = 1;
+    /// Paper id of "Collaborative filtering with temporal dynamics" (task 2).
+    pub const CF_PAPER: i64 = 2;
+    /// Author id of Samuel Madden (task 3).
+    pub const MADDEN: i64 = 1;
+    /// Conference id of SIGMOD (pool position 1).
+    pub const SIGMOD: i64 = 1;
+    /// Conference id of KDD (pool position 7).
+    pub const KDD: i64 = 7;
+    /// Institution id of Carnegie Mellon University (task 4).
+    pub const CMU: i64 = 1;
+}
+
+/// Generates the synthetic academic database.
+pub fn generate(cfg: &GenConfig) -> Database {
+    assert!(cfg.papers >= 20, "need at least 20 papers");
+    assert!(cfg.authors >= 20, "need at least 20 authors");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut db = academic_schema();
+
+    // --- Conferences ------------------------------------------------------
+    for (i, (acr, title)) in names::CONFERENCES.iter().enumerate() {
+        db.insert_unchecked(
+            "Conferences",
+            vec![(i as i64 + 1).into(), (*acr).into(), (*title).into()],
+        )
+        .expect("conference row");
+    }
+    let n_conf = names::CONFERENCES.len() as i64;
+
+    // --- Institutions -----------------------------------------------------
+    for (i, (name, country)) in names::INSTITUTIONS.iter().enumerate() {
+        db.insert_unchecked(
+            "Institutions",
+            vec![(i as i64 + 1).into(), (*name).into(), (*country).into()],
+        )
+        .expect("institution row");
+    }
+    let n_inst = names::INSTITUTIONS.len() as i64;
+
+    // --- Authors ----------------------------------------------------------
+    // Author 1 is Samuel Madden (planted, at MIT = institution 2).
+    let mut used_names: HashSet<String> = HashSet::new();
+    used_names.insert("Samuel Madden".into());
+    db.insert_unchecked(
+        "Authors",
+        vec![planted::MADDEN.into(), "Samuel Madden".into(), 2.into()],
+    )
+    .expect("author row");
+    // Authors 2..=6 are planted at CMU so task 4 has answers.
+    for id in 2..=6i64 {
+        let name = fresh_name(&mut rng, &mut used_names);
+        db.insert_unchecked(
+            "Authors",
+            vec![id.into(), name.into(), planted::CMU.into()],
+        )
+        .expect("author row");
+    }
+    for id in 7..=cfg.authors as i64 {
+        let name = fresh_name(&mut rng, &mut used_names);
+        // ~4% of authors have no recorded institution (nullable FK).
+        let inst: Value = if rng.gen_ratio(1, 25) {
+            Value::Null
+        } else {
+            // Zipf over institutions: big schools dominate.
+            (zipf(&mut rng, n_inst as usize) as i64 + 1).into()
+        };
+        db.insert_unchecked("Authors", vec![id.into(), name.into(), inst])
+            .expect("author row");
+    }
+
+    // --- Papers -----------------------------------------------------------
+    let mut used_titles: HashSet<String> = HashSet::new();
+    let mut paper_year: Vec<i64> = Vec::with_capacity(cfg.papers);
+    let mut paper_conf: Vec<i64> = Vec::with_capacity(cfg.papers);
+    for id in 1..=cfg.papers as i64 {
+        let (title, conf, year) = if id == planted::USABLE_PAPER {
+            (
+                "Making database systems usable".to_string(),
+                planted::SIGMOD,
+                2007,
+            )
+        } else if id == planted::CF_PAPER {
+            (
+                "Collaborative filtering with temporal dynamics".to_string(),
+                planted::KDD,
+                2009,
+            )
+        } else {
+            let title = fresh_title(&mut rng, &mut used_titles);
+            let conf = zipf(&mut rng, n_conf as usize) as i64 + 1;
+            let year = rng.gen_range(cfg.years.0..=cfg.years.1);
+            (title, conf, year)
+        };
+        used_titles.insert(title.clone());
+        let page_start = rng.gen_range(1..1800i64);
+        let page_len = rng.gen_range(2..14i64);
+        db.insert_unchecked(
+            "Papers",
+            vec![
+                id.into(),
+                conf.into(),
+                title.into(),
+                year.into(),
+                page_start.into(),
+                (page_start + page_len).into(),
+            ],
+        )
+        .expect("paper row");
+        paper_year.push(year);
+        paper_conf.push(conf);
+    }
+
+    // --- Paper_Authors (preferential attachment over authors) -------------
+    // Tickets: an author's chance of being picked grows with each paper,
+    // yielding the power-law paper counts real bibliographies show.
+    let mut tickets: Vec<i64> = (1..=cfg.authors as i64).collect();
+    let mut pa_rows: Vec<(i64, i64, i64)> = Vec::new();
+    for pid in 1..=cfg.papers as i64 {
+        let mut count = skewed_count(&mut rng, cfg.mean_authors, 1, 12);
+        if pid == planted::USABLE_PAPER {
+            count = 7; // the paper's running example shows 7 authors
+        }
+        let mut chosen: Vec<i64> = Vec::with_capacity(count);
+        let mut guard = 0;
+        while chosen.len() < count && guard < 200 {
+            let a = tickets[rng.gen_range(0..tickets.len())];
+            if !chosen.contains(&a) {
+                chosen.push(a);
+            }
+            guard += 1;
+        }
+        for (ord, a) in chosen.iter().enumerate() {
+            pa_rows.push((pid, *a, ord as i64 + 1));
+            tickets.push(*a);
+        }
+    }
+    // Planted guarantees:
+    // * Samuel Madden authored at least three papers from 2013 on (task 3)
+    //   and one earlier paper (so the year filter is non-trivial).
+    let mut madden_recent = 0;
+    let mut madden_old = 0;
+    for (pid, a, _) in &pa_rows {
+        if *a == planted::MADDEN {
+            if paper_year[(*pid - 1) as usize] >= 2013 {
+                madden_recent += 1;
+            } else {
+                madden_old += 1;
+            }
+        }
+    }
+    let add_author = |pa_rows: &mut Vec<(i64, i64, i64)>, pid: i64, a: i64| {
+        if !pa_rows.iter().any(|(p, x, _)| *p == pid && *x == a) {
+            let ord = pa_rows.iter().filter(|(p, _, _)| *p == pid).count() as i64 + 1;
+            pa_rows.push((pid, a, ord));
+        }
+    };
+    {
+        let recent: Vec<i64> = (1..=cfg.papers as i64)
+            .filter(|&p| paper_year[(p - 1) as usize] >= 2013)
+            .take(6)
+            .collect();
+        let old: Vec<i64> = (1..=cfg.papers as i64)
+            .filter(|&p| paper_year[(p - 1) as usize] < 2013)
+            .take(3)
+            .collect();
+        for &p in recent.iter().take((3 - madden_recent.min(3)) as usize + 1) {
+            add_author(&mut pa_rows, p, planted::MADDEN);
+        }
+        for &p in old.iter().take((1 - madden_old.min(1)) as usize) {
+            add_author(&mut pa_rows, p, planted::MADDEN);
+        }
+        // * CMU researchers (authors 2..=6) published at KDD (task 4).
+        let kdd_papers: Vec<i64> = (1..=cfg.papers as i64)
+            .filter(|&p| paper_conf[(p - 1) as usize] == planted::KDD)
+            .take(4)
+            .collect();
+        for (i, &p) in kdd_papers.iter().enumerate() {
+            add_author(&mut pa_rows, p, 2 + (i as i64 % 5));
+        }
+    }
+    pa_rows.sort();
+    pa_rows.dedup_by_key(|(p, a, _)| (*p, *a));
+    for (pid, a, ord) in &pa_rows {
+        db.insert_unchecked(
+            "Paper_Authors",
+            vec![(*pid).into(), (*a).into(), (*ord).into()],
+        )
+        .expect("paper-author row");
+    }
+
+    // --- Paper_Keywords ----------------------------------------------------
+    for pid in 1..=cfg.papers as i64 {
+        let mut kws: Vec<&str> = Vec::new();
+        if pid == planted::USABLE_PAPER {
+            kws = vec![
+                "user interfaces",
+                "human factors",
+                "usability",
+                "design",
+                "databases",
+                "sql",
+            ];
+        } else if pid == planted::CF_PAPER {
+            kws = vec![
+                "recommendation",
+                "user preferences",
+                "machine learning",
+                "clustering",
+            ];
+        } else {
+            let count = skewed_count(&mut rng, cfg.mean_keywords, 1, 10);
+            let mut guard = 0;
+            while kws.len() < count && guard < 100 {
+                let k = names::KEYWORDS[zipf(&mut rng, names::KEYWORDS.len())];
+                if !kws.contains(&k) {
+                    kws.push(k);
+                }
+                guard += 1;
+            }
+        }
+        for k in kws {
+            db.insert_unchecked("Paper_Keywords", vec![pid.into(), k.into()])
+                .expect("keyword row");
+        }
+    }
+
+    // --- Paper_References (preferential attachment over earlier papers) ---
+    let mut cite_tickets: Vec<i64> = Vec::new();
+    for pid in 2..=cfg.papers as i64 {
+        cite_tickets.push(pid - 1);
+        let count = skewed_count(&mut rng, cfg.mean_refs, 0, 30);
+        let mut refs: Vec<i64> = Vec::new();
+        let mut guard = 0;
+        while refs.len() < count && guard < 200 {
+            let r = cite_tickets[rng.gen_range(0..cite_tickets.len())];
+            if r != pid && !refs.contains(&r) {
+                refs.push(r);
+            }
+            guard += 1;
+        }
+        for r in &refs {
+            db.insert_unchecked("Paper_References", vec![pid.into(), (*r).into()])
+                .expect("reference row");
+            cite_tickets.push(*r);
+        }
+    }
+
+    db
+}
+
+fn fresh_name(rng: &mut StdRng, used: &mut HashSet<String>) -> String {
+    loop {
+        let first = names::FIRST_NAMES[rng.gen_range(0..names::FIRST_NAMES.len())];
+        let last = names::LAST_NAMES[rng.gen_range(0..names::LAST_NAMES.len())];
+        let mut name = format!("{first} {last}");
+        let mut suffix = 2;
+        while used.contains(&name) {
+            name = format!("{first} {last} {}", roman(suffix));
+            suffix += 1;
+            if suffix > 30 {
+                break;
+            }
+        }
+        if used.insert(name.clone()) {
+            return name;
+        }
+    }
+}
+
+fn fresh_title(rng: &mut StdRng, used: &mut HashSet<String>) -> String {
+    loop {
+        let head = names::TITLE_HEADS[rng.gen_range(0..names::TITLE_HEADS.len())];
+        let subj = names::TITLE_SUBJECTS[rng.gen_range(0..names::TITLE_SUBJECTS.len())];
+        let tail = names::TITLE_TAILS[rng.gen_range(0..names::TITLE_TAILS.len())];
+        let mut title = format!("{head} {subj} {tail}");
+        let mut n = 2;
+        while used.contains(&title) {
+            title = format!("{head} {subj} {tail}, part {n}");
+            n += 1;
+        }
+        if used.insert(title.clone()) {
+            return title;
+        }
+    }
+}
+
+fn roman(mut n: usize) -> String {
+    let table = [
+        (10, "X"),
+        (9, "IX"),
+        (5, "V"),
+        (4, "IV"),
+        (1, "I"),
+    ];
+    let mut out = String::new();
+    for (v, s) in table {
+        while n >= v {
+            out.push_str(s);
+            n -= v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etable_relational::sql::execute;
+
+    fn small_db() -> Database {
+        generate(&GenConfig::small())
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let a = generate(&GenConfig::small());
+        let b = generate(&GenConfig::small());
+        assert_eq!(a.total_rows(), b.total_rows());
+        let ta = a.table("Papers").unwrap();
+        let tb = b.table("Papers").unwrap();
+        assert_eq!(ta.rows(), tb.rows());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&GenConfig::small());
+        let b = generate(&GenConfig {
+            seed: 43,
+            ..GenConfig::small()
+        });
+        assert_ne!(
+            a.table("Papers").unwrap().rows(),
+            b.table("Papers").unwrap().rows()
+        );
+    }
+
+    #[test]
+    fn referential_integrity_holds() {
+        small_db().check_integrity().unwrap();
+    }
+
+    #[test]
+    fn row_counts_match_config() {
+        let db = small_db();
+        assert_eq!(db.table("Papers").unwrap().len(), 300);
+        assert_eq!(db.table("Authors").unwrap().len(), 220);
+        assert_eq!(db.table("Conferences").unwrap().len(), 19);
+    }
+
+    #[test]
+    fn task1_answer_planted() {
+        let mut db = small_db();
+        let r = execute(
+            &mut db,
+            "SELECT year FROM Papers WHERE title = 'Making database systems usable'",
+        )
+        .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(2007));
+    }
+
+    #[test]
+    fn task2_answer_planted() {
+        let mut db = small_db();
+        let r = execute(
+            &mut db,
+            "SELECT pk.keyword FROM Papers p, Paper_Keywords pk \
+             WHERE pk.paper_id = p.id AND p.title = 'Collaborative filtering with temporal dynamics'",
+        )
+        .unwrap();
+        assert!(r.len() >= 3);
+    }
+
+    #[test]
+    fn task3_answer_nonempty() {
+        let mut db = small_db();
+        let r = execute(
+            &mut db,
+            "SELECT p.title FROM Papers p, Paper_Authors pa, Authors a \
+             WHERE p.id = pa.paper_id AND pa.author_id = a.id \
+             AND a.name = 'Samuel Madden' AND p.year >= 2013",
+        )
+        .unwrap();
+        assert!(r.len() >= 3, "only {} Madden papers >= 2013", r.len());
+        // And he has older papers too, so the filter matters.
+        let all = execute(
+            &mut db,
+            "SELECT p.title FROM Papers p, Paper_Authors pa, Authors a \
+             WHERE p.id = pa.paper_id AND pa.author_id = a.id AND a.name = 'Samuel Madden'",
+        )
+        .unwrap();
+        assert!(all.len() > r.len());
+    }
+
+    #[test]
+    fn task4_answer_nonempty() {
+        let mut db = small_db();
+        let r = execute(
+            &mut db,
+            "SELECT p.title FROM Papers p, Paper_Authors pa, Authors a, Institutions i, Conferences c \
+             WHERE p.id = pa.paper_id AND pa.author_id = a.id AND a.institution_id = i.id \
+             AND p.conference_id = c.id AND i.name = 'Carnegie Mellon University' \
+             AND c.acronym = 'KDD'",
+        )
+        .unwrap();
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn task5_answer_well_defined() {
+        let mut db = small_db();
+        let r = execute(
+            &mut db,
+            "SELECT i.name, COUNT(*) AS n FROM Institutions i, Authors a \
+             WHERE a.institution_id = i.id AND i.country = 'South Korea' \
+             GROUP BY i.name ORDER BY n DESC",
+        )
+        .unwrap();
+        assert!(!r.is_empty());
+        // A unique winner (no tie between the top two) keeps the task
+        // answerable; the generator's Zipf assignment makes ties unlikely,
+        // and this test pins it for the default seed.
+        if r.len() >= 2 {
+            assert_ne!(r.rows[0][1], r.rows[1][1], "task 5 has a tie");
+        }
+    }
+
+    #[test]
+    fn task6_answer_nonempty() {
+        let mut db = small_db();
+        let r = execute(
+            &mut db,
+            "SELECT a.name, COUNT(*) AS n FROM Papers p, Paper_Authors pa, Authors a, Conferences c \
+             WHERE p.id = pa.paper_id AND pa.author_id = a.id AND p.conference_id = c.id \
+             AND c.acronym = 'SIGMOD' GROUP BY a.name ORDER BY n DESC, a.name LIMIT 3",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn authorship_distribution_is_skewed() {
+        let mut db = small_db();
+        let r = execute(
+            &mut db,
+            "SELECT pa.author_id, COUNT(*) AS n FROM Paper_Authors pa \
+             GROUP BY pa.author_id ORDER BY n DESC",
+        )
+        .unwrap();
+        let top = r.rows[0][1].as_int().unwrap();
+        let median = r.rows[r.len() / 2][1].as_int().unwrap();
+        assert!(
+            top >= median * 3,
+            "expected skew: top {top} vs median {median}"
+        );
+    }
+
+    #[test]
+    fn figure1_workload_nonempty() {
+        // SIGMOD papers with a keyword containing 'user' exist.
+        let mut db = small_db();
+        let r = execute(
+            &mut db,
+            "SELECT DISTINCT p.id FROM Papers p, Paper_Keywords pk, Conferences c \
+             WHERE pk.paper_id = p.id AND p.conference_id = c.id \
+             AND pk.keyword LIKE '%user%' AND c.acronym = 'SIGMOD'",
+        )
+        .unwrap();
+        assert!(r.len() >= 2);
+    }
+
+    #[test]
+    fn scaling_config_scales() {
+        let cfg = GenConfig::small().with_papers(600);
+        let db = generate(&cfg);
+        assert_eq!(db.table("Papers").unwrap().len(), 600);
+        assert_eq!(db.table("Authors").unwrap().len(), 400);
+    }
+}

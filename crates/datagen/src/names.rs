@@ -1,0 +1,165 @@
+//! Vocabulary pools for the synthetic academic data set.
+//!
+//! The paper's data came from DBLP and the ACM Digital Library; we generate
+//! names, titles and keywords from fixed pools so the data set *looks* like
+//! the paper's examples (Figure 1/5) while staying fully synthetic and
+//! deterministic.
+
+/// The 19 conferences of the paper's data set: databases, data mining, and
+/// human-computer interaction venues since 2000 (§7.1).
+pub const CONFERENCES: &[(&str, &str)] = &[
+    ("SIGMOD", "International Conference on Management of Data"),
+    ("VLDB", "International Conference on Very Large Data Bases"),
+    ("ICDE", "International Conference on Data Engineering"),
+    ("EDBT", "International Conference on Extending Database Technology"),
+    ("PODS", "Symposium on Principles of Database Systems"),
+    ("CIDR", "Conference on Innovative Data Systems Research"),
+    ("KDD", "Conference on Knowledge Discovery and Data Mining"),
+    ("ICDM", "International Conference on Data Mining"),
+    ("SDM", "SIAM International Conference on Data Mining"),
+    ("WSDM", "Conference on Web Search and Data Mining"),
+    ("CIKM", "Conference on Information and Knowledge Management"),
+    ("WWW", "The Web Conference"),
+    ("SIGIR", "Conference on Research and Development in Information Retrieval"),
+    ("RecSys", "Conference on Recommender Systems"),
+    ("CHI", "Conference on Human Factors in Computing Systems"),
+    ("UIST", "Symposium on User Interface Software and Technology"),
+    ("CSCW", "Conference on Computer-Supported Cooperative Work"),
+    ("IUI", "Conference on Intelligent User Interfaces"),
+    ("AVI", "Conference on Advanced Visual Interfaces"),
+];
+
+/// Institution name stems combined with country assignments. Includes the
+/// planted entities the Table 2 tasks refer to: Carnegie Mellon University
+/// (task 4) and several South Korean institutions (task 5).
+pub const INSTITUTIONS: &[(&str, &str)] = &[
+    ("Carnegie Mellon University", "USA"),
+    ("Massachusetts Institute of Technology", "USA"),
+    ("University of Michigan", "USA"),
+    ("University of Washington", "USA"),
+    ("Stanford University", "USA"),
+    ("University of California, Berkeley", "USA"),
+    ("Georgia Institute of Technology", "USA"),
+    ("University of Illinois", "USA"),
+    ("University of Wisconsin", "USA"),
+    ("Cornell University", "USA"),
+    ("Seoul National University", "South Korea"),
+    ("KAIST", "South Korea"),
+    ("POSTECH", "South Korea"),
+    ("Yonsei University", "South Korea"),
+    ("Korea University", "South Korea"),
+    ("ETH Zurich", "Switzerland"),
+    ("EPFL", "Switzerland"),
+    ("Technical University of Munich", "Germany"),
+    ("Saarland University", "Germany"),
+    ("Humboldt University", "Germany"),
+    ("University of Oxford", "UK"),
+    ("University of Cambridge", "UK"),
+    ("University of Edinburgh", "UK"),
+    ("Imperial College London", "UK"),
+    ("National University of Singapore", "Singapore"),
+    ("Nanyang Technological University", "Singapore"),
+    ("Tsinghua University", "China"),
+    ("Peking University", "China"),
+    ("Hong Kong University of Science and Technology", "China"),
+    ("University of Tokyo", "Japan"),
+    ("Kyoto University", "Japan"),
+    ("IIT Bombay", "India"),
+    ("IIT Delhi", "India"),
+    ("University of Toronto", "Canada"),
+    ("University of Waterloo", "Canada"),
+    ("University of Melbourne", "Australia"),
+    ("Tel Aviv University", "Israel"),
+    ("Technion", "Israel"),
+    ("INRIA", "France"),
+    ("University of Amsterdam", "Netherlands"),
+];
+
+/// Given-name pool for author generation.
+pub const FIRST_NAMES: &[&str] = &[
+    "Samuel", "Alice", "Bob", "Carol", "David", "Erica", "Frank", "Grace", "Henry", "Irene",
+    "James", "Karen", "Louis", "Maria", "Nathan", "Olivia", "Peter", "Qing", "Rachel", "Steven",
+    "Tina", "Umar", "Vera", "Wei", "Xin", "Yuki", "Zoe", "Minsuk", "Arnab", "Magda", "Jignesh",
+    "Surajit", "Divesh", "Jiawei", "Christos", "Hector", "Jennifer", "Michael", "Laura", "Daniel",
+    "Sofia", "Pablo", "Elena", "Ivan", "Jun", "Hye", "Sang", "Joon", "Anna", "Tom",
+];
+
+/// Family-name pool for author generation.
+pub const LAST_NAMES: &[&str] = &[
+    "Madden", "Smith", "Johnson", "Lee", "Kim", "Park", "Chen", "Wang", "Zhang", "Liu",
+    "Garcia", "Martinez", "Brown", "Davis", "Miller", "Wilson", "Taylor", "Anderson", "Thomas",
+    "Moore", "Jackson", "Martin", "Thompson", "White", "Lopez", "Gonzalez", "Harris", "Clark",
+    "Lewis", "Walker", "Hall", "Young", "King", "Wright", "Scott", "Nandi", "Jagadish",
+    "Halevy", "Widom", "Stonebraker", "DeWitt", "Abadi", "Kraska", "Franklin", "Hellerstein",
+    "Suciu", "Koudas", "Srivastava", "Ioannidis", "Gehrke",
+];
+
+/// Title vocabulary: adjective/verb-ish openers.
+pub const TITLE_HEADS: &[&str] = &[
+    "Efficient", "Scalable", "Interactive", "Adaptive", "Incremental", "Distributed",
+    "Approximate", "Robust", "Fast", "Parallel", "Declarative", "Automatic", "Learned",
+    "Probabilistic", "Streaming", "Online", "Visual", "Usable", "Collaborative", "Guided",
+];
+
+/// Title vocabulary: subjects.
+pub const TITLE_SUBJECTS: &[&str] = &[
+    "query processing", "data exploration", "join optimization", "schema matching",
+    "entity resolution", "crowdsourcing", "data cleaning", "indexing", "query suggestion",
+    "keyword search", "data integration", "provenance tracking", "graph analytics",
+    "recommendation", "clustering", "classification", "anomaly detection", "data visualization",
+    "user interfaces", "spreadsheet interfaces", "natural language querying",
+    "sampling", "caching", "view maintenance", "transaction processing", "concurrency control",
+];
+
+/// Title vocabulary: contexts.
+pub const TITLE_TAILS: &[&str] = &[
+    "in relational databases", "for large-scale systems", "over data streams",
+    "with human feedback", "on modern hardware", "in the cloud", "for interactive analytics",
+    "using machine learning", "at scale", "for scientific workflows", "in social networks",
+    "with provable guarantees", "for end users", "on heterogeneous data", "under uncertainty",
+];
+
+/// Keyword pool; the substring `user` appears in several entries because the
+/// paper's running example filters papers by `keyword LIKE '%user%'`.
+pub const KEYWORDS: &[&str] = &[
+    "user interfaces", "user studies", "user preferences", "user feedback", "usability",
+    "design", "human factors", "algorithms", "performance", "experimentation", "measurement",
+    "theory", "query processing", "query optimization", "data exploration", "data cleaning",
+    "data integration", "keyword search", "information retrieval", "visualization",
+    "interactive systems", "direct manipulation", "spreadsheets", "databases", "sql",
+    "schema design", "normalization", "join algorithms", "indexing", "caching",
+    "materialized views", "provenance", "crowdsourcing", "machine learning", "deep learning",
+    "clustering", "classification", "recommendation", "graph mining", "social networks",
+    "parallel databases", "distributed systems", "transactions", "concurrency",
+    "skew", "load balancing", "sampling", "approximation", "streams", "sensors",
+    "privacy", "security", "reliability", "economics", "scalability", "benchmarking",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_nonempty_and_planted_entities_present() {
+        assert_eq!(CONFERENCES.len(), 19);
+        assert!(INSTITUTIONS.iter().any(|(n, _)| *n == "Carnegie Mellon University"));
+        assert!(
+            INSTITUTIONS
+                .iter()
+                .filter(|(_, c)| *c == "South Korea")
+                .count()
+                >= 3
+        );
+        assert!(FIRST_NAMES.contains(&"Samuel"));
+        assert!(LAST_NAMES.contains(&"Madden"));
+        assert!(KEYWORDS.iter().filter(|k| k.contains("user")).count() >= 4);
+    }
+
+    #[test]
+    fn no_duplicate_conference_acronyms() {
+        let mut acronyms: Vec<&str> = CONFERENCES.iter().map(|(a, _)| *a).collect();
+        acronyms.sort();
+        acronyms.dedup();
+        assert_eq!(acronyms.len(), CONFERENCES.len());
+    }
+}

@@ -1,0 +1,161 @@
+//! Caching of instance-matching results across query revisions.
+//!
+//! The paper lists "accelerating the execution speed of updated queries
+//! (e.g., by reusing intermediate results)" as future work (§9). Because
+//! query building is incremental — every action produces a pattern close to
+//! the previous one, and `Revert` re-executes an earlier pattern verbatim —
+//! a cache keyed on the canonical pattern text captures most re-executions.
+//! The `bench/reuse` benchmark quantifies the effect.
+
+use crate::matching::{match_primary, MatchResult};
+use crate::pattern::QueryPattern;
+use crate::Result;
+use etable_tgm::Tgdb;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// A bounded FIFO cache of matching results.
+#[derive(Debug, Default)]
+pub struct QueryCache {
+    map: HashMap<String, Rc<MatchResult>>,
+    order: VecDeque<String>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl QueryCache {
+    /// Default number of cached results (a session's history rarely exceeds
+    /// a few dozen steps).
+    pub const DEFAULT_CAPACITY: usize = 64;
+
+    /// Creates a cache with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a cache bounded to `capacity` entries (0 disables caching).
+    pub fn with_capacity(capacity: usize) -> Self {
+        QueryCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Returns the matching result for `pattern`, computing and caching it
+    /// on a miss.
+    pub fn get_or_compute(&mut self, tgdb: &Tgdb, pattern: &QueryPattern) -> Result<Rc<MatchResult>> {
+        let key = pattern.canonical_key(tgdb);
+        if let Some(hit) = self.map.get(&key) {
+            self.hits += 1;
+            return Ok(Rc::clone(hit));
+        }
+        self.misses += 1;
+        let result = Rc::new(match_primary(tgdb, pattern)?);
+        if self.capacity > 0 {
+            if self.map.len() >= self.capacity {
+                if let Some(evict) = self.order.pop_front() {
+                    self.map.remove(&evict);
+                }
+            }
+            self.map.insert(key.clone(), Rc::clone(&result));
+            self.order.push_back(key);
+        }
+        Ok(result)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops all cached entries (e.g. after the underlying data changes).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use crate::pattern::NodeFilter;
+    use crate::testutil::academic_tgdb;
+    use etable_relational::expr::CmpOp;
+
+    #[test]
+    fn repeated_patterns_hit() {
+        let tgdb = academic_tgdb();
+        let (papers, _) = tgdb.schema.node_type_by_name("Papers").unwrap();
+        let q = ops::initiate(&tgdb, papers).unwrap();
+        let mut cache = QueryCache::new();
+        let a = cache.get_or_compute(&tgdb, &q).unwrap();
+        let b = cache.get_or_compute(&tgdb, &q).unwrap();
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn different_filters_do_not_collide() {
+        let tgdb = academic_tgdb();
+        let (papers, _) = tgdb.schema.node_type_by_name("Papers").unwrap();
+        let q = ops::initiate(&tgdb, papers).unwrap();
+        let q1 = ops::select(&tgdb, &q, NodeFilter::cmp("year", CmpOp::Gt, 2010)).unwrap();
+        let q2 = ops::select(&tgdb, &q, NodeFilter::cmp("year", CmpOp::Gt, 2012)).unwrap();
+        let mut cache = QueryCache::new();
+        let a = cache.get_or_compute(&tgdb, &q1).unwrap();
+        let b = cache.get_or_compute(&tgdb, &q2).unwrap();
+        assert_ne!(a.rows().len(), b.rows().len());
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn capacity_evicts_fifo() {
+        let tgdb = academic_tgdb();
+        let (papers, _) = tgdb.schema.node_type_by_name("Papers").unwrap();
+        let base = ops::initiate(&tgdb, papers).unwrap();
+        let mut cache = QueryCache::with_capacity(2);
+        for year in [2000, 2001, 2002] {
+            let q = ops::select(&tgdb, &base, NodeFilter::cmp("year", CmpOp::Gt, year)).unwrap();
+            cache.get_or_compute(&tgdb, &q).unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        // The first pattern was evicted: re-requesting it is a miss.
+        let q = ops::select(&tgdb, &base, NodeFilter::cmp("year", CmpOp::Gt, 2000)).unwrap();
+        cache.get_or_compute(&tgdb, &q).unwrap();
+        assert_eq!(cache.misses(), 4);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let tgdb = academic_tgdb();
+        let (papers, _) = tgdb.schema.node_type_by_name("Papers").unwrap();
+        let q = ops::initiate(&tgdb, papers).unwrap();
+        let mut cache = QueryCache::with_capacity(0);
+        cache.get_or_compute(&tgdb, &q).unwrap();
+        cache.get_or_compute(&tgdb, &q).unwrap();
+        assert!(cache.is_empty());
+        assert_eq!(cache.misses(), 2);
+    }
+}

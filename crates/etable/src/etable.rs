@@ -1,0 +1,260 @@
+//! The enriched table: the presentation data model's result format (§5.1).
+//!
+//! Each row represents one node of the primary node type; columns are
+//! base attributes `Ab`, participating node columns `At`, or neighbor node
+//! columns `Ah` (§5.4.2). Entity-reference cells hold clickable labels, not
+//! foreign keys, mirroring hyperlinks (§5.1).
+
+use crate::pattern::PatternNodeId;
+use etable_relational::value::Value;
+use etable_tgm::{EdgeTypeId, NodeId};
+use std::fmt;
+
+/// A reference to another entity, presented as a clickable label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntityRef {
+    /// The referenced node.
+    pub node: NodeId,
+    /// Its label (`label(v) = v[β]`).
+    pub label: String,
+}
+
+/// One cell of an enriched table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// An atomic value (base-attribute column).
+    Atomic(Value),
+    /// A set of entity references (entity-reference column). The count shown
+    /// in the cell corner of the UI is `refs.len()`.
+    Refs(Vec<EntityRef>),
+}
+
+impl Cell {
+    /// Number of references (0 for atomic cells).
+    pub fn ref_count(&self) -> usize {
+        match self {
+            Cell::Atomic(_) => 0,
+            Cell::Refs(r) => r.len(),
+        }
+    }
+
+    /// The references, if this is a reference cell.
+    pub fn refs(&self) -> Option<&[EntityRef]> {
+        match self {
+            Cell::Atomic(_) => None,
+            Cell::Refs(r) => Some(r),
+        }
+    }
+
+    /// The atomic value, if this is an atomic cell.
+    pub fn value(&self) -> Option<&Value> {
+        match self {
+            Cell::Atomic(v) => Some(v),
+            Cell::Refs(_) => None,
+        }
+    }
+}
+
+/// What a column presents (§5.4.2's three column kinds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnKind {
+    /// `Ab`: a base attribute of the primary node type.
+    Base {
+        /// Attribute position in the node type.
+        attr: usize,
+    },
+    /// `At`: a participating node column (entities bound to a non-primary
+    /// pattern node, filtered by the whole query pattern).
+    Participating {
+        /// The pattern node this column tracks.
+        node: PatternNodeId,
+    },
+    /// `Ah`: a neighbor node column (all schema-graph neighbors along one
+    /// edge type, regardless of the pattern).
+    Neighbor {
+        /// The edge type leaving the primary node type.
+        edge: EdgeTypeId,
+    },
+}
+
+/// A column of an enriched table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnSpec {
+    /// Display name (attribute name, node type name, or edge name).
+    pub name: String,
+    /// What the column presents.
+    pub kind: ColumnKind,
+}
+
+/// One row: a primary node plus its cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ETableRow {
+    /// The primary node this row represents.
+    pub node: NodeId,
+    /// Cells, positionally matching the table's columns.
+    pub cells: Vec<Cell>,
+}
+
+/// An enriched table (§5.1): the ETable presentation of a query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnrichedTable {
+    /// Name of the primary node type (table heading).
+    pub primary_type_name: String,
+    /// Human-readable description of the filters applied (table subtitle,
+    /// as in Figure 1's "Papers filtered by ...").
+    pub filter_desc: String,
+    /// The columns.
+    pub columns: Vec<ColumnSpec>,
+    /// The rows, one per matched primary node.
+    pub rows: Vec<ETableRow>,
+}
+
+impl EnrichedTable {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows matched.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column position by display name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column spec by display name.
+    pub fn column(&self, name: &str) -> Option<&ColumnSpec> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// The row presenting `node`, if present.
+    pub fn row_for(&self, node: NodeId) -> Option<&ETableRow> {
+        self.rows.iter().find(|r| r.node == node)
+    }
+
+    /// Sorts rows by a column: atomic columns by value, reference columns
+    /// by reference count (the paper's "Sort table by # of Papers
+    /// (referenced)", Figure 1 history step 3).
+    pub fn sort_by_column(&mut self, column: usize, descending: bool) {
+        self.rows.sort_by(|a, b| {
+            let ord = match (&a.cells[column], &b.cells[column]) {
+                (Cell::Atomic(x), Cell::Atomic(y)) => x.total_cmp(y),
+                (x, y) => x.ref_count().cmp(&y.ref_count()),
+            };
+            if descending {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+    }
+
+    /// Total number of entity references across all cells (used by the
+    /// duplication-factor analysis: a relational join would repeat rows
+    /// multiplicatively, an ETable only additively).
+    pub fn total_refs(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.cells.iter().map(Cell::ref_count).sum::<usize>())
+            .sum()
+    }
+}
+
+impl fmt::Display for EnrichedTable {
+    /// Compact one-line summary; full rendering lives in [`crate::render`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ETable[{} rows of {}; {} columns]",
+            self.rows.len(),
+            self.primary_type_name,
+            self.columns.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> EnrichedTable {
+        EnrichedTable {
+            primary_type_name: "Papers".into(),
+            filter_desc: String::new(),
+            columns: vec![
+                ColumnSpec {
+                    name: "title".into(),
+                    kind: ColumnKind::Base { attr: 1 },
+                },
+                ColumnSpec {
+                    name: "Authors".into(),
+                    kind: ColumnKind::Neighbor {
+                        edge: etable_tgm::EdgeTypeId(0),
+                    },
+                },
+            ],
+            rows: vec![
+                ETableRow {
+                    node: NodeId(0),
+                    cells: vec![
+                        Cell::Atomic("B-paper".into()),
+                        Cell::Refs(vec![
+                            EntityRef {
+                                node: NodeId(5),
+                                label: "X".into(),
+                            },
+                            EntityRef {
+                                node: NodeId(6),
+                                label: "Y".into(),
+                            },
+                        ]),
+                    ],
+                },
+                ETableRow {
+                    node: NodeId(1),
+                    cells: vec![
+                        Cell::Atomic("A-paper".into()),
+                        Cell::Refs(vec![EntityRef {
+                            node: NodeId(5),
+                            label: "X".into(),
+                        }]),
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn sort_by_atomic_column() {
+        let mut t = table();
+        t.sort_by_column(0, false);
+        assert_eq!(t.rows[0].cells[0].value(), Some(&"A-paper".into()));
+    }
+
+    #[test]
+    fn sort_by_ref_count_descending() {
+        let mut t = table();
+        t.sort_by_column(1, true);
+        assert_eq!(t.rows[0].cells[1].ref_count(), 2);
+    }
+
+    #[test]
+    fn lookups() {
+        let t = table();
+        assert_eq!(t.column_index("Authors"), Some(1));
+        assert!(t.column("nope").is_none());
+        assert!(t.row_for(NodeId(1)).is_some());
+        assert_eq!(t.total_refs(), 3);
+    }
+
+    #[test]
+    fn cell_accessors() {
+        let c = Cell::Atomic(Value::Int(3));
+        assert_eq!(c.ref_count(), 0);
+        assert!(c.refs().is_none());
+        assert_eq!(c.value(), Some(&Value::Int(3)));
+    }
+}

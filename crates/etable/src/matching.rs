@@ -1,0 +1,410 @@
+//! Instance matching `m(Q)` (paper Definition 4).
+//!
+//! Two strategies:
+//!
+//! * [`match_full`] materializes the full graph relation
+//!   `σC1(R1) ∗p1 σC2(R2) ∗ ... ∗ σCn(Rn)` exactly as Definition 4 states
+//!   (used for Figure 8 and as the reference in tests);
+//! * [`match_primary`] runs a two-pass message-passing algorithm
+//!   (Yannakakis' algorithm for acyclic queries) that computes, per pattern
+//!   node, the set of instance nodes participating in *some* full match.
+//!   This implements the paper's §6.2 optimization — "we partition a long
+//!   SQL query into multiple queries ... and merge them" — the ETable only
+//!   needs per-row *sets* of related entities, never the full cross
+//!   product.
+//!
+//! For tree-shaped patterns both agree:
+//! `Π_τ(match_full(Q)) == match_primary(Q).allowed[τ]` (property-tested).
+
+use crate::graph_relation::GraphRelation;
+use crate::pattern::{PatternNodeId, QueryPattern};
+use crate::Result;
+use etable_tgm::{NodeId, Tgdb};
+use std::collections::HashSet;
+
+/// The decomposed matching result.
+#[derive(Debug, Clone)]
+pub struct MatchResult {
+    /// The pattern this result was computed for.
+    pub pattern: QueryPattern,
+    /// Per pattern node: the instance nodes that appear in at least one
+    /// complete match, in instance-graph order.
+    pub allowed: Vec<Vec<NodeId>>,
+    /// Per pattern node: the same sets in hash form for O(1) membership.
+    pub allowed_sets: Vec<HashSet<NodeId>>,
+}
+
+impl MatchResult {
+    /// The matched primary rows (`R = Π_τa(m(Q))`), in instance order.
+    pub fn rows(&self) -> &[NodeId] {
+        &self.allowed[self.pattern.primary.0]
+    }
+
+    /// Whether `node` participates in a match at pattern node `at`.
+    pub fn contains(&self, at: PatternNodeId, node: NodeId) -> bool {
+        self.allowed_sets[at.0].contains(&node)
+    }
+
+    /// The nodes related to `row` (a matched primary node) at pattern node
+    /// `target`: `Π_type(target) σ_{τa = row}(m(Q))` computed by walking the
+    /// unique pattern path and intersecting with the allowed sets.
+    pub fn related(
+        &self,
+        tgdb: &Tgdb,
+        row: NodeId,
+        target: PatternNodeId,
+    ) -> Result<Vec<NodeId>> {
+        let path = self.pattern.path(tgdb, self.pattern.primary, target)?;
+        let mut frontier: Vec<NodeId> = vec![row];
+        for (step_node, edge) in path {
+            let mut next = Vec::new();
+            let mut seen = HashSet::new();
+            for &f in &frontier {
+                for &nb in tgdb.instances.neighbors(edge, f) {
+                    if self.allowed_sets[step_node.0].contains(&nb) && seen.insert(nb) {
+                        next.push(nb);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        Ok(frontier)
+    }
+}
+
+/// Materializes the full graph relation of Definition 4 by walking the
+/// pattern tree from the primary node outward, expanding one edge at a time
+/// (each expansion is a `∗` join against a filtered base relation).
+pub fn match_full(tgdb: &Tgdb, pattern: &QueryPattern) -> Result<GraphRelation> {
+    pattern.validate(tgdb)?;
+    let root = pattern.primary;
+    let mut rel = GraphRelation::base(
+        tgdb,
+        root,
+        pattern.node(root).node_type,
+        &pattern.node(root).filter,
+    )?;
+    // BFS over the tree.
+    let mut visited = vec![false; pattern.len()];
+    visited[root.0] = true;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(root);
+    while let Some(cur) = queue.pop_front() {
+        for (next, et) in pattern.incident(tgdb, cur) {
+            if visited[next.0] {
+                continue;
+            }
+            visited[next.0] = true;
+            rel = rel.expand(tgdb, et, cur, next, &pattern.node(next).filter)?;
+            queue.push_back(next);
+        }
+    }
+    Ok(rel)
+}
+
+/// Computes the per-node participating sets with two passes over the
+/// pattern tree (Yannakakis), avoiding the full cross product.
+pub fn match_primary(tgdb: &Tgdb, pattern: &QueryPattern) -> Result<MatchResult> {
+    pattern.validate(tgdb)?;
+    let n = pattern.len();
+    let root = pattern.primary;
+
+    // Tree orders: parents/children from the primary root.
+    let mut parent: Vec<Option<(PatternNodeId, etable_tgm::EdgeTypeId)>> = vec![None; n];
+    let mut order = Vec::with_capacity(n); // BFS pre-order
+    let mut visited = vec![false; n];
+    visited[root.0] = true;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(root);
+    while let Some(cur) = queue.pop_front() {
+        order.push(cur);
+        for (next, et) in pattern.incident(tgdb, cur) {
+            if !visited[next.0] {
+                visited[next.0] = true;
+                // Store the child -> parent direction for the upward pass.
+                parent[next.0] = Some((cur, tgdb.schema.edge_type(et).reverse));
+                queue.push_back(next);
+            }
+        }
+    }
+
+    // Initial candidates: local filters only.
+    let mut allowed_sets: Vec<HashSet<NodeId>> = Vec::with_capacity(n);
+    for id in pattern.node_ids() {
+        let node = pattern.node(id);
+        let mut set = HashSet::new();
+        for &v in tgdb.instances.nodes_of_type(node.node_type) {
+            if node.filter.eval(tgdb, v)? {
+                set.insert(v);
+            }
+        }
+        allowed_sets.push(set);
+    }
+
+    // Upward pass (post-order): a node survives only if, for every child,
+    // it has at least one allowed neighbor.
+    for &cur in order.iter().rev() {
+        let children: Vec<(PatternNodeId, etable_tgm::EdgeTypeId)> = pattern
+            .incident(tgdb, cur)
+            .into_iter()
+            .filter(|(nb, _)| parent[nb.0].map(|(p, _)| p) == Some(cur))
+            .collect();
+        if children.is_empty() {
+            continue;
+        }
+        let survivors: HashSet<NodeId> = allowed_sets[cur.0]
+            .iter()
+            .copied()
+            .filter(|&v| {
+                children.iter().all(|&(child, et)| {
+                    tgdb.instances
+                        .neighbors(et, v)
+                        .iter()
+                        .any(|nb| allowed_sets[child.0].contains(nb))
+                })
+            })
+            .collect();
+        allowed_sets[cur.0] = survivors;
+    }
+
+    // Downward pass (pre-order): a node survives only if it has an allowed
+    // parent.
+    for &cur in &order {
+        if let Some((p, up_edge)) = parent[cur.0] {
+            let survivors: HashSet<NodeId> = allowed_sets[cur.0]
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    tgdb.instances
+                        .neighbors(up_edge, v)
+                        .iter()
+                        .any(|nb| allowed_sets[p.0].contains(nb))
+                })
+                .collect();
+            allowed_sets[cur.0] = survivors;
+        }
+    }
+
+    // Materialize ordered vectors (instance insertion order for determinism).
+    let mut allowed = Vec::with_capacity(n);
+    for id in pattern.node_ids() {
+        let node = pattern.node(id);
+        let ordered: Vec<NodeId> = tgdb
+            .instances
+            .nodes_of_type(node.node_type)
+            .iter()
+            .copied()
+            .filter(|v| allowed_sets[id.0].contains(v))
+            .collect();
+        allowed.push(ordered);
+    }
+
+    Ok(MatchResult {
+        pattern: pattern.clone(),
+        allowed,
+        allowed_sets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use crate::pattern::NodeFilter;
+    use crate::testutil::academic_tgdb;
+    use etable_relational::expr::CmpOp;
+
+    /// The Figure 6 / Figure 7 query: SIGMOD papers after 2005 by authors at
+    /// Korean institutions, pivoted to Authors.
+    fn korea_pattern(tgdb: &etable_tgm::Tgdb) -> QueryPattern {
+        let (confs, _) = tgdb.schema.node_type_by_name("Conferences").unwrap();
+        let q = ops::initiate(tgdb, confs).unwrap();
+        let q = ops::select(tgdb, &q, NodeFilter::cmp("acronym", CmpOp::Eq, "SIGMOD")).unwrap();
+        let (pe, _) = tgdb.schema.outgoing_by_name(confs, "Papers").unwrap();
+        let q = ops::add(tgdb, &q, pe).unwrap();
+        let q = ops::select(tgdb, &q, NodeFilter::cmp("year", CmpOp::Gt, 2005)).unwrap();
+        let papers_ty = q.primary_node().node_type;
+        let (ae, _) = tgdb.schema.outgoing_by_name(papers_ty, "Authors").unwrap();
+        let q = ops::add(tgdb, &q, ae).unwrap();
+        let authors_ty = q.primary_node().node_type;
+        let (ie, _) = tgdb
+            .schema
+            .outgoing_by_name(authors_ty, "Institutions")
+            .unwrap();
+        let q = ops::add(tgdb, &q, ie).unwrap();
+        let q = ops::select(tgdb, &q, NodeFilter::like("country", "%Korea%")).unwrap();
+        ops::shift(&q, crate::pattern::PatternNodeId(2)).unwrap()
+    }
+
+    #[test]
+    fn single_node_pattern_lists_type() {
+        let tgdb = academic_tgdb();
+        let (papers, _) = tgdb.schema.node_type_by_name("Papers").unwrap();
+        let q = ops::initiate(&tgdb, papers).unwrap();
+        let m = match_primary(&tgdb, &q).unwrap();
+        assert_eq!(m.rows().len(), 4);
+        let full = match_full(&tgdb, &q).unwrap();
+        assert_eq!(full.len(), 4);
+    }
+
+    #[test]
+    fn filters_restrict_rows() {
+        let tgdb = academic_tgdb();
+        let (papers, _) = tgdb.schema.node_type_by_name("Papers").unwrap();
+        let q = ops::initiate(&tgdb, papers).unwrap();
+        let q = ops::select(&tgdb, &q, NodeFilter::cmp("year", CmpOp::Ge, 2012)).unwrap();
+        let m = match_primary(&tgdb, &q).unwrap();
+        assert_eq!(m.rows().len(), 2); // SkewTune 2012, Deep stuff 2014
+    }
+
+    #[test]
+    fn join_pattern_restricts_both_sides() {
+        // Papers at SIGMOD: adding the filtered conference node restricts
+        // papers; no Korea authors wrote SIGMOD papers after 2005 except...
+        let tgdb = academic_tgdb();
+        let q = korea_pattern(&tgdb);
+        let m = match_primary(&tgdb, &q).unwrap();
+        // SIGMOD ∧ year>2005: papers 10 (2007) and 11 (2012).
+        // Their authors: Jagadish, Nandi (MI), Kwon (UW) — none in Korea.
+        assert!(m.rows().is_empty());
+    }
+
+    #[test]
+    fn kdd_variant_finds_korean_author() {
+        let tgdb = academic_tgdb();
+        let (confs, _) = tgdb.schema.node_type_by_name("Conferences").unwrap();
+        let q = ops::initiate(&tgdb, confs).unwrap();
+        let q = ops::select(&tgdb, &q, NodeFilter::cmp("acronym", CmpOp::Eq, "KDD")).unwrap();
+        let (pe, _) = tgdb.schema.outgoing_by_name(confs, "Papers").unwrap();
+        let q = ops::add(&tgdb, &q, pe).unwrap();
+        let papers_ty = q.primary_node().node_type;
+        let (ae, _) = tgdb.schema.outgoing_by_name(papers_ty, "Authors").unwrap();
+        let q = ops::add(&tgdb, &q, ae).unwrap();
+        let authors_ty = q.primary_node().node_type;
+        let (ie, _) = tgdb
+            .schema
+            .outgoing_by_name(authors_ty, "Institutions")
+            .unwrap();
+        let q = ops::add(&tgdb, &q, ie).unwrap();
+        let q = ops::select(&tgdb, &q, NodeFilter::like("country", "%Korea%")).unwrap();
+        let q = ops::shift(&q, crate::pattern::PatternNodeId(2)).unwrap();
+        let m = match_primary(&tgdb, &q).unwrap();
+        let names: Vec<String> = m
+            .rows()
+            .iter()
+            .map(|&a| tgdb.instances.label(&tgdb.schema, a))
+            .collect();
+        assert_eq!(names, vec!["Minsuk Kim"]);
+    }
+
+    #[test]
+    fn full_and_primary_agree_on_projections() {
+        let tgdb = academic_tgdb();
+        let (confs, _) = tgdb.schema.node_type_by_name("Conferences").unwrap();
+        let q = ops::initiate(&tgdb, confs).unwrap();
+        let (pe, _) = tgdb.schema.outgoing_by_name(confs, "Papers").unwrap();
+        let q = ops::add(&tgdb, &q, pe).unwrap();
+        let papers_ty = q.primary_node().node_type;
+        let (ae, _) = tgdb.schema.outgoing_by_name(papers_ty, "Authors").unwrap();
+        let q = ops::add(&tgdb, &q, ae).unwrap();
+        let full = match_full(&tgdb, &q).unwrap();
+        let prim = match_primary(&tgdb, &q).unwrap();
+        for id in q.node_ids() {
+            let mut a: Vec<_> = full.distinct_nodes(id).unwrap();
+            let mut b = prim.allowed[id.0].clone();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "projection mismatch at {id}");
+        }
+    }
+
+    #[test]
+    fn related_returns_row_scoped_sets() {
+        let tgdb = academic_tgdb();
+        let (papers, _) = tgdb.schema.node_type_by_name("Papers").unwrap();
+        let q = ops::initiate(&tgdb, papers).unwrap();
+        let (ae, _) = tgdb.schema.outgoing_by_name(papers, "Authors").unwrap();
+        let q = ops::add(&tgdb, &q, ae).unwrap();
+        let q = ops::shift(&q, crate::pattern::PatternNodeId(0)).unwrap();
+        let m = match_primary(&tgdb, &q).unwrap();
+        let usable = tgdb.node_by_pk(papers, &10.into()).unwrap();
+        let related = m
+            .related(&tgdb, usable, crate::pattern::PatternNodeId(1))
+            .unwrap();
+        let names: Vec<String> = related
+            .iter()
+            .map(|&a| tgdb.instances.label(&tgdb.schema, a))
+            .collect();
+        assert_eq!(names, vec!["H. V. Jagadish", "Arnab Nandi"]);
+    }
+
+    #[test]
+    fn related_respects_downstream_filters() {
+        // Papers -> Authors{Korea institutions}: for "Guided interaction"
+        // only Kim remains even though Nandi also co-authored.
+        let tgdb = academic_tgdb();
+        let (papers, _) = tgdb.schema.node_type_by_name("Papers").unwrap();
+        let q = ops::initiate(&tgdb, papers).unwrap();
+        let (ae, _) = tgdb.schema.outgoing_by_name(papers, "Authors").unwrap();
+        let q = ops::add(&tgdb, &q, ae).unwrap();
+        let authors_ty = q.primary_node().node_type;
+        let (ie, _) = tgdb
+            .schema
+            .outgoing_by_name(authors_ty, "Institutions")
+            .unwrap();
+        let q = ops::add(&tgdb, &q, ie).unwrap();
+        let q = ops::select(&tgdb, &q, NodeFilter::like("country", "%Korea%")).unwrap();
+        let q = ops::shift(&q, crate::pattern::PatternNodeId(0)).unwrap();
+        let m = match_primary(&tgdb, &q).unwrap();
+        let guided = tgdb.node_by_pk(papers, &12.into()).unwrap();
+        assert!(m.rows().contains(&guided));
+        let authors = m
+            .related(&tgdb, guided, crate::pattern::PatternNodeId(1))
+            .unwrap();
+        let names: Vec<String> = authors
+            .iter()
+            .map(|&a| tgdb.instances.label(&tgdb.schema, a))
+            .collect();
+        assert_eq!(names, vec!["Minsuk Kim"]);
+    }
+
+    #[test]
+    fn self_relationship_directions_differ() {
+        let tgdb = academic_tgdb();
+        let (papers, _) = tgdb.schema.node_type_by_name("Papers").unwrap();
+        // Papers that reference something.
+        let q = ops::initiate(&tgdb, papers).unwrap();
+        let (refd, _) = tgdb
+            .schema
+            .outgoing_by_name(papers, "Papers (referenced)")
+            .unwrap();
+        let q1 = ops::add(&tgdb, &q, refd).unwrap();
+        let q1 = ops::shift(&q1, crate::pattern::PatternNodeId(0)).unwrap();
+        let m1 = match_primary(&tgdb, &q1).unwrap();
+        assert_eq!(m1.rows().len(), 3); // 11, 12, 13 cite something
+        // Papers that are referenced by something.
+        let (refg, _) = tgdb
+            .schema
+            .outgoing_by_name(papers, "Papers (referencing)")
+            .unwrap();
+        let q2 = ops::add(&tgdb, &q, refg).unwrap();
+        let q2 = ops::shift(&q2, crate::pattern::PatternNodeId(0)).unwrap();
+        let m2 = match_primary(&tgdb, &q2).unwrap();
+        assert_eq!(m2.rows().len(), 3); // 10, 11, 12 are cited
+    }
+
+    #[test]
+    fn empty_result_propagates() {
+        let tgdb = academic_tgdb();
+        let (papers, _) = tgdb.schema.node_type_by_name("Papers").unwrap();
+        let q = ops::initiate(&tgdb, papers).unwrap();
+        let q = ops::select(&tgdb, &q, NodeFilter::cmp("year", CmpOp::Gt, 3000)).unwrap();
+        let (ae, _) = tgdb.schema.outgoing_by_name(papers, "Authors").unwrap();
+        let q = ops::add(&tgdb, &q, ae).unwrap();
+        let m = match_primary(&tgdb, &q).unwrap();
+        assert!(m.rows().is_empty());
+        assert!(m.allowed[0].is_empty());
+        let full = match_full(&tgdb, &q).unwrap();
+        assert!(full.is_empty());
+    }
+}

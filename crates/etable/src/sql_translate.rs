@@ -1,0 +1,1170 @@
+//! Bidirectional translation between ETable query patterns and SQL (§8).
+//!
+//! * [`to_sql`] renders the paper's general SQL pattern
+//!   (`SELECT τa.*, ent-list(t1), ... GROUP BY τa`) for display;
+//! * [`to_primary_sql`] emits an *executable* SQL query over the original
+//!   relational database returning the distinct primary keys of the matched
+//!   primary nodes — the relational equivalent of `Π_τa(m(Q))`;
+//! * [`from_sql`] translates a typical FK–PK join query into an equivalent
+//!   ETable query pattern, following the three steps of §8.
+//!
+//! Together these witness the paper's expressiveness claim: any join query
+//! over FK–PK relationships on a schema meeting the Appendix A assumptions
+//! has an equivalent ETable query (round-trip tested in `tests/`).
+
+use crate::pattern::{
+    FilterAtom, NodeFilter, PatternEdge, PatternNode, PatternNodeId, QueryPattern,
+};
+use crate::{Error, Result};
+use etable_relational::database::Database;
+use etable_relational::expr::CmpOp;
+use etable_relational::sql::ast::{Query, SelectItem, SqlExpr, Statement};
+use etable_relational::value::Value;
+use etable_tgm::{EdgeProvenance, NodeTypeKind, Tgdb};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+fn sql_literal(v: &Value) -> String {
+    match v {
+        Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+        other => other.to_string(),
+    }
+}
+
+/// How a pattern node's attribute values are reachable in SQL.
+#[derive(Debug, Clone)]
+enum NodeRepr {
+    /// An aliased entity table; `pk` is its primary-key column name.
+    Entity { alias: String, pk: String },
+    /// A value node (MVA or categorical); `expr` is the SQL expression that
+    /// yields the value (e.g. `m0.keyword` or `t1.year`).
+    ValueExpr { expr: String },
+}
+
+impl NodeRepr {
+    fn attr_expr(&self, attr: &str) -> String {
+        match self {
+            NodeRepr::Entity { alias, .. } => format!("{alias}.{attr}"),
+            NodeRepr::ValueExpr { expr } => expr.clone(),
+        }
+    }
+
+    fn key_expr(&self) -> String {
+        match self {
+            NodeRepr::Entity { alias, pk } => format!("{alias}.{pk}"),
+            NodeRepr::ValueExpr { expr } => expr.clone(),
+        }
+    }
+}
+
+struct SqlBuilder<'a> {
+    tgdb: &'a Tgdb,
+    db: &'a Database,
+    from: Vec<String>,
+    conditions: Vec<String>,
+    reprs: Vec<Option<NodeRepr>>,
+    next_aux: usize,
+}
+
+impl<'a> SqlBuilder<'a> {
+    fn new(tgdb: &'a Tgdb, db: &'a Database, n: usize) -> Self {
+        SqlBuilder {
+            tgdb,
+            db,
+            from: Vec::new(),
+            conditions: Vec::new(),
+            reprs: vec![None; n],
+            next_aux: 0,
+        }
+    }
+
+    fn pk_of(&self, table: &str) -> Result<String> {
+        let schema = self
+            .db
+            .table(table)
+            .map_err(|e| Error::SqlTranslate(e.to_string()))?
+            .schema();
+        schema
+            .primary_key
+            .first()
+            .cloned()
+            .ok_or_else(|| Error::SqlTranslate(format!("table `{table}` has no primary key")))
+    }
+
+    /// Registers the base representation of an entity pattern node (value
+    /// nodes are resolved when their connecting edge is processed).
+    fn init_entity(&mut self, id: PatternNodeId, pattern: &QueryPattern) -> Result<()> {
+        let nt = self.tgdb.schema.node_type(pattern.node(id).node_type);
+        if nt.kind == NodeTypeKind::Entity {
+            let alias = format!("t{}", id.0);
+            let table = nt.source_table.clone();
+            let pk = self.pk_of(&table)?;
+            self.from.push(format!("{table} {alias}"));
+            self.reprs[id.0] = Some(NodeRepr::Entity { alias, pk });
+        }
+        Ok(())
+    }
+
+    fn repr(&self, id: PatternNodeId) -> Result<&NodeRepr> {
+        self.reprs[id.0]
+            .as_ref()
+            .ok_or_else(|| Error::SqlTranslate(format!("pattern node {id} not representable")))
+    }
+
+    /// Emits joins for one pattern edge, creating value-node representations
+    /// as a side effect.
+    fn process_edge(&mut self, e: &PatternEdge) -> Result<()> {
+        let et = self.tgdb.schema.edge_type(e.edge_type);
+        // Occurrences playing the forward-source and forward-target roles.
+        let (fsrc, ftgt) = if et.forward {
+            (e.from, e.to)
+        } else {
+            (e.to, e.from)
+        };
+        match et.provenance.clone() {
+            EdgeProvenance::ForeignKey { column, .. } => {
+                // forward-source is the referencing entity.
+                let src = self.repr(fsrc)?.clone();
+                let tgt = self.repr(ftgt)?.clone();
+                self.conditions
+                    .push(format!("{} = {}", src.attr_expr(&column), tgt.key_expr()));
+            }
+            EdgeProvenance::Relation {
+                table,
+                left_col,
+                right_col,
+            } => {
+                let alias = format!("j{}", self.next_aux);
+                self.next_aux += 1;
+                self.from.push(format!("{table} {alias}"));
+                let src = self.repr(fsrc)?.clone();
+                let tgt = self.repr(ftgt)?.clone();
+                self.conditions
+                    .push(format!("{alias}.{left_col} = {}", src.key_expr()));
+                self.conditions
+                    .push(format!("{alias}.{right_col} = {}", tgt.key_expr()));
+            }
+            EdgeProvenance::MultiValued {
+                table,
+                fk_col,
+                value_col,
+            } => {
+                // The entity plays the forward-source role; the value node
+                // is the forward target.
+                let alias = format!("m{}", self.next_aux);
+                self.next_aux += 1;
+                self.from.push(format!("{table} {alias}"));
+                let owner = self.repr(fsrc)?.clone();
+                self.conditions
+                    .push(format!("{alias}.{fk_col} = {}", owner.key_expr()));
+                let expr = format!("{alias}.{value_col}");
+                match &self.reprs[ftgt.0] {
+                    None => self.reprs[ftgt.0] = Some(NodeRepr::ValueExpr { expr }),
+                    Some(existing) => {
+                        // A second edge into the same value node: the values
+                        // seen along both paths must agree.
+                        let prev = existing.key_expr();
+                        self.conditions.push(format!("{expr} = {prev}"));
+                    }
+                }
+            }
+            EdgeProvenance::Categorical { column, .. } => {
+                let owner = self.repr(fsrc)?.clone();
+                let expr = owner.attr_expr(&column);
+                match &self.reprs[ftgt.0] {
+                    None => self.reprs[ftgt.0] = Some(NodeRepr::ValueExpr { expr }),
+                    Some(existing) => {
+                        let prev = existing.key_expr();
+                        self.conditions.push(format!("{expr} = {prev}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Emits WHERE conditions for one pattern node's filter.
+    fn process_filter(&mut self, pattern: &QueryPattern, id: PatternNodeId) -> Result<()> {
+        let node = pattern.node(id);
+        for atom in node.filter.atoms.clone() {
+            let cond = match &atom {
+                FilterAtom::Cmp { attr, op, value } => {
+                    let lhs = self.repr(id)?.attr_expr(attr);
+                    format!("{lhs} {op} {}", sql_literal(value))
+                }
+                FilterAtom::Like { attr, pattern } => {
+                    let lhs = self.repr(id)?.attr_expr(attr);
+                    format!("{lhs} LIKE '{}'", pattern.replace('\'', "''"))
+                }
+                FilterAtom::NotLike { attr, pattern } => {
+                    let lhs = self.repr(id)?.attr_expr(attr);
+                    format!("{lhs} NOT LIKE '{}'", pattern.replace('\'', "''"))
+                }
+                FilterAtom::In { attr, values } => {
+                    let lhs = self.repr(id)?.attr_expr(attr);
+                    let list = values.iter().map(sql_literal).collect::<Vec<_>>().join(", ");
+                    format!("{lhs} IN ({list})")
+                }
+                FilterAtom::IsNull { attr } => {
+                    let lhs = self.repr(id)?.attr_expr(attr);
+                    format!("{lhs} IS NULL")
+                }
+                FilterAtom::NodeIs(n) => {
+                    let repr = self.repr(id)?.clone();
+                    match &repr {
+                        NodeRepr::Entity { pk, .. } => {
+                            let nt = self.tgdb.schema.node_type(node.node_type);
+                            let pk_attr = nt.attr_index(pk).ok_or_else(|| {
+                                Error::SqlTranslate(format!(
+                                    "primary key `{pk}` is not an attribute of `{}`",
+                                    nt.name
+                                ))
+                            })?;
+                            let v = &self.tgdb.instances.node(*n).values[pk_attr];
+                            format!("{} = {}", repr.key_expr(), sql_literal(v))
+                        }
+                        NodeRepr::ValueExpr { expr } => {
+                            let v = &self.tgdb.instances.node(*n).values[0];
+                            format!("{expr} = {}", sql_literal(v))
+                        }
+                    }
+                }
+                FilterAtom::NeighborLabelLike { edge, pattern: pat } => {
+                    // Materialize the neighbor as an extra join: sound under
+                    // SELECT DISTINCT (the paper translates these filters to
+                    // subqueries; a semi-join is the equivalent here).
+                    self.neighbor_label_join(id, *edge, pat)?
+                }
+            };
+            self.conditions.push(cond);
+        }
+        Ok(())
+    }
+
+    /// Builds the join + LIKE condition for a neighbor-label filter and
+    /// returns the LIKE condition (joins are appended directly).
+    fn neighbor_label_join(
+        &mut self,
+        id: PatternNodeId,
+        edge: etable_tgm::EdgeTypeId,
+        like_pattern: &str,
+    ) -> Result<String> {
+        let et = self.tgdb.schema.edge_type(edge);
+        let owner = self.repr(id)?.clone();
+        let target_nt = self.tgdb.schema.node_type(et.target);
+        let like =
+            |expr: String| format!("{expr} LIKE '{}'", like_pattern.replace('\'', "''"));
+        match et.provenance.clone() {
+            EdgeProvenance::ForeignKey { table, column } => {
+                let alias = format!("x{}", self.next_aux);
+                self.next_aux += 1;
+                let label_col = target_nt.attrs[target_nt.label_attr].name.clone();
+                if et.forward {
+                    // owner is the referencing side: join the referenced table.
+                    let tgt_table = target_nt.source_table.clone();
+                    let pk = self.pk_of(&tgt_table)?;
+                    self.from.push(format!("{tgt_table} {alias}"));
+                    self.conditions
+                        .push(format!("{} = {alias}.{pk}", owner.attr_expr(&column)));
+                } else {
+                    // owner is referenced: join the referencing table.
+                    self.from.push(format!("{table} {alias}"));
+                    let owner_key = owner.key_expr();
+                    self.conditions
+                        .push(format!("{alias}.{column} = {owner_key}"));
+                }
+                Ok(like(format!("{alias}.{label_col}")))
+            }
+            EdgeProvenance::Relation {
+                table,
+                left_col,
+                right_col,
+            } => {
+                let jalias = format!("x{}", self.next_aux);
+                self.next_aux += 1;
+                let ealias = format!("x{}", self.next_aux);
+                self.next_aux += 1;
+                let (own_col, other_col) = if et.forward {
+                    (left_col, right_col)
+                } else {
+                    (right_col, left_col)
+                };
+                let tgt_table = target_nt.source_table.clone();
+                let pk = self.pk_of(&tgt_table)?;
+                let label_col = target_nt.attrs[target_nt.label_attr].name.clone();
+                self.from.push(format!("{table} {jalias}"));
+                self.from.push(format!("{tgt_table} {ealias}"));
+                self.conditions
+                    .push(format!("{jalias}.{own_col} = {}", owner.key_expr()));
+                self.conditions
+                    .push(format!("{jalias}.{other_col} = {ealias}.{pk}"));
+                Ok(like(format!("{ealias}.{label_col}")))
+            }
+            EdgeProvenance::MultiValued {
+                table,
+                fk_col,
+                value_col,
+            } => {
+                let alias = format!("x{}", self.next_aux);
+                self.next_aux += 1;
+                self.from.push(format!("{table} {alias}"));
+                self.conditions
+                    .push(format!("{alias}.{fk_col} = {}", owner.key_expr()));
+                Ok(like(format!("{alias}.{value_col}")))
+            }
+            EdgeProvenance::Categorical { column, .. } => Ok(like(owner.attr_expr(&column))),
+        }
+    }
+}
+
+/// Walks the pattern and fills a [`SqlBuilder`].
+fn build<'a>(tgdb: &'a Tgdb, db: &'a Database, pattern: &QueryPattern) -> Result<SqlBuilder<'a>> {
+    pattern.validate(tgdb)?;
+    let mut b = SqlBuilder::new(tgdb, db, pattern.len());
+    for id in pattern.node_ids() {
+        b.init_entity(id, pattern)?;
+    }
+    // Process edges in BFS order from the primary so value-node
+    // representations exist before dependent edges/conditions.
+    let mut visited = vec![false; pattern.len()];
+    visited[pattern.primary.0] = true;
+    let mut queue = std::collections::VecDeque::from([pattern.primary]);
+    let mut edge_order: Vec<PatternEdge> = Vec::new();
+    while let Some(cur) = queue.pop_front() {
+        for e in &pattern.edges {
+            let other = if e.from == cur {
+                e.to
+            } else if e.to == cur {
+                e.from
+            } else {
+                continue;
+            };
+            if !visited[other.0] {
+                visited[other.0] = true;
+                edge_order.push(*e);
+                queue.push_back(other);
+            }
+        }
+    }
+    for e in &edge_order {
+        b.process_edge(e)?;
+    }
+    for id in pattern.node_ids() {
+        b.process_filter(pattern, id)?;
+    }
+    Ok(b)
+}
+
+/// Renders the paper's general SQL pattern (§8) for display:
+/// `SELECT τa.*, ent-list(t1), ... FROM ... WHERE ... GROUP BY τa`.
+///
+/// `ent_list` is the pseudo-aggregate the paper compares to PostgreSQL's
+/// `json_agg`; the output is documentation, not an executable query.
+pub fn to_sql(tgdb: &Tgdb, db: &Database, pattern: &QueryPattern) -> Result<String> {
+    let b = build(tgdb, db, pattern)?;
+    let primary = b.repr(pattern.primary)?.clone();
+    let mut select_items = vec![match &primary {
+        NodeRepr::Entity { alias, .. } => format!("{alias}.*"),
+        NodeRepr::ValueExpr { expr } => expr.clone(),
+    }];
+    for id in pattern.node_ids() {
+        if id == pattern.primary {
+            continue;
+        }
+        select_items.push(format!("ent_list({})", b.repr(id)?.key_expr()));
+    }
+    let mut sql = String::new();
+    let _ = write!(sql, "SELECT {}", select_items.join(", "));
+    let _ = write!(sql, " FROM {}", b.from.join(", "));
+    if !b.conditions.is_empty() {
+        let _ = write!(sql, " WHERE {}", b.conditions.join(" AND "));
+    }
+    let _ = write!(sql, " GROUP BY {}", primary.key_expr());
+    Ok(sql)
+}
+
+/// Emits an executable SQL query over the original relational database that
+/// returns the distinct primary keys (or values, for MVA/categorical
+/// primaries) of the matched primary nodes: `Π_τa(m(Q))` in SQL.
+pub fn to_primary_sql(tgdb: &Tgdb, db: &Database, pattern: &QueryPattern) -> Result<String> {
+    let b = build(tgdb, db, pattern)?;
+    let primary = b.repr(pattern.primary)?.key_expr();
+    let mut sql = format!("SELECT DISTINCT {primary} FROM {}", b.from.join(", "));
+    if !b.conditions.is_empty() {
+        let _ = write!(sql, " WHERE {}", b.conditions.join(" AND "));
+    }
+    Ok(sql)
+}
+
+// ---------------------------------------------------------------------------
+// SQL -> ETable (§8's three translation steps)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum Slot {
+    /// An entity table alias, mapping to a pattern node.
+    Entity { table: String, node: usize },
+    /// A relationship (junction) table alias: collects its two bindings as
+    /// join conditions arrive.
+    Junction {
+        table: String,
+        left_col: String,
+        right_col: String,
+        left_bind: Option<usize>,
+        right_bind: Option<usize>,
+    },
+    /// An MVA table alias: owner binding plus the created value node.
+    Mva {
+        table: String,
+        fk_col: String,
+        value_col: String,
+        owner_bind: Option<usize>,
+        node: usize,
+    },
+}
+
+/// Translates a FK–PK join query into an equivalent ETable query pattern.
+///
+/// Follows §8: (1) the FROM list and equi-join conditions become node
+/// occurrences and edge types; (2) remaining selection conditions become
+/// node conditions; (3) the GROUP BY attribute (or the first entity table)
+/// becomes the primary node type.
+///
+/// Set operations, disjunctive join graphs and non-FK join conditions are
+/// rejected, matching the paper's stated scope ("core relational algebra").
+pub fn from_sql(tgdb: &Tgdb, db: &Database, sql: &str) -> Result<QueryPattern> {
+    let stmt = etable_relational::sql::parse_statement(sql)
+        .map_err(|e| Error::SqlTranslate(e.to_string()))?;
+    let Statement::Select(q) = stmt else {
+        return Err(Error::SqlTranslate("expected a SELECT query".into()));
+    };
+    from_query(tgdb, db, &q)
+}
+
+/// [`from_sql`] over a pre-parsed query.
+pub fn from_query(tgdb: &Tgdb, db: &Database, q: &Query) -> Result<QueryPattern> {
+    // Collect table refs and conjuncts.
+    let mut refs: Vec<(String, String)> = Vec::new(); // (alias, table)
+    for t in &q.from {
+        refs.push((t.effective_alias().to_string(), t.table.clone()));
+    }
+    let mut conjuncts: Vec<SqlExpr> = Vec::new();
+    for j in &q.joins {
+        refs.push((
+            j.table.effective_alias().to_string(),
+            j.table.table.clone(),
+        ));
+        conjuncts.extend(j.on.conjuncts().into_iter().cloned());
+    }
+    if let Some(w) = &q.where_clause {
+        conjuncts.extend(w.conjuncts().into_iter().cloned());
+    }
+
+    // Step 1a: classify FROM items into slots.
+    let mut nodes: Vec<PatternNode> = Vec::new();
+    let mut slots: BTreeMap<String, Slot> = BTreeMap::new();
+    for (alias, table) in &refs {
+        if slots.contains_key(alias) {
+            return Err(Error::SqlTranslate(format!("duplicate alias `{alias}`")));
+        }
+        let cat = tgdb
+            .categories
+            .get(table)
+            .ok_or_else(|| Error::SqlTranslate(format!("table `{table}` is unknown to the TGDB")))?;
+        match cat {
+            etable_tgm::RelationCategory::Entity => {
+                let (nt, _) = tgdb
+                    .schema
+                    .node_type_by_name(table)
+                    .ok_or_else(|| Error::SqlTranslate(format!("no node type for `{table}`")))?;
+                nodes.push(PatternNode {
+                    node_type: nt,
+                    filter: NodeFilter::none(),
+                });
+                slots.insert(
+                    alias.clone(),
+                    Slot::Entity {
+                        table: table.clone(),
+                        node: nodes.len() - 1,
+                    },
+                );
+            }
+            etable_tgm::RelationCategory::Relationship { left_fk, right_fk } => {
+                slots.insert(
+                    alias.clone(),
+                    Slot::Junction {
+                        table: table.clone(),
+                        left_col: left_fk.clone(),
+                        right_col: right_fk.clone(),
+                        left_bind: None,
+                        right_bind: None,
+                    },
+                );
+            }
+            etable_tgm::RelationCategory::MultiValuedAttr { fk_col, value_col } => {
+                let nt_name = format!("{table}: {value_col}");
+                let (nt, _) = tgdb.schema.node_type_by_name(&nt_name).ok_or_else(|| {
+                    Error::SqlTranslate(format!("no node type for MVA `{nt_name}`"))
+                })?;
+                nodes.push(PatternNode {
+                    node_type: nt,
+                    filter: NodeFilter::none(),
+                });
+                slots.insert(
+                    alias.clone(),
+                    Slot::Mva {
+                        table: table.clone(),
+                        fk_col: fk_col.clone(),
+                        value_col: value_col.clone(),
+                        owner_bind: None,
+                        node: nodes.len() - 1,
+                    },
+                );
+            }
+        }
+    }
+
+    let resolve_alias = |name: &str| -> Result<(String, String)> {
+        if let Some((a, c)) = name.split_once('.') {
+            Ok((a.to_string(), c.to_string()))
+        } else {
+            // Unqualified: unique owner among the referenced tables.
+            let mut found = None;
+            for (alias, table) in &refs {
+                let schema = db
+                    .table(table)
+                    .map_err(|e| Error::SqlTranslate(e.to_string()))?
+                    .schema();
+                if schema.column_index(name).is_some() {
+                    if found.is_some() {
+                        return Err(Error::SqlTranslate(format!("ambiguous column `{name}`")));
+                    }
+                    found = Some((alias.clone(), name.to_string()));
+                }
+            }
+            found.ok_or_else(|| Error::SqlTranslate(format!("unknown column `{name}`")))
+        }
+    };
+
+    // Step 1b: process equi-join conjuncts; the rest become conditions.
+    // Entity-entity FK joins are collected with both orientations and
+    // resolved against the schema's FK edge types afterwards.
+    let mut fk_joins: Vec<(String, String, String, String)> = Vec::new();
+    let mut residual: Vec<(String, String, SqlExpr)> = Vec::new(); // (alias, col, expr)
+    for c in &conjuncts {
+        if let SqlExpr::Cmp(CmpOp::Eq, a, b) = c {
+            if let (SqlExpr::Column(ca), SqlExpr::Column(cb)) = (a.as_ref(), b.as_ref()) {
+                let (aa, cola) = resolve_alias(ca)?;
+                let (ab, colb) = resolve_alias(cb)?;
+                if aa != ab {
+                    process_join(&mut slots, &mut fk_joins, &aa, &cola, &ab, &colb)?;
+                    continue;
+                }
+            }
+        }
+        // Single-alias predicate?
+        let names = c.referenced_names();
+        if names.is_empty() {
+            return Err(Error::SqlTranslate(format!(
+                "unsupported constant predicate `{c}`"
+            )));
+        }
+        let mut aliases: Vec<String> = Vec::new();
+        let mut first_col = String::new();
+        for n in &names {
+            let (a, col) = resolve_alias(n)?;
+            if first_col.is_empty() {
+                first_col = col;
+            }
+            aliases.push(a);
+        }
+        aliases.dedup();
+        if aliases.len() != 1 {
+            return Err(Error::SqlTranslate(format!(
+                "predicate `{c}` spans multiple tables and is not an equi-join"
+            )));
+        }
+        residual.push((aliases[0].clone(), first_col, c.clone()));
+    }
+
+    // FK joins between entity slots -> FK edges (try both orientations).
+    let mut edges: Vec<PatternEdge> = Vec::new();
+    for (alias_a, col_a, alias_b, col_b) in &fk_joins {
+        let (Some(Slot::Entity { table: ta, node: na }), Some(Slot::Entity { table: tb, node: nb })) =
+            (slots.get(alias_a), slots.get(alias_b))
+        else {
+            return Err(Error::SqlTranslate(format!(
+                "FK join on non-entity aliases `{alias_a}`/`{alias_b}`"
+            )));
+        };
+        let (ta, na, tb, nb) = (ta.clone(), *na, tb.clone(), *nb);
+        let candidates = [
+            (ta.clone(), col_a.clone(), na, nb),
+            (tb.clone(), col_b.clone(), nb, na),
+        ];
+        let mut resolved = None;
+        for (table, col, src, tgt) in candidates {
+            let src_ty = nodes[src].node_type;
+            if let Some((id, _)) = tgdb.schema.edge_types().find(|(_, e)| {
+                e.forward
+                    && e.source == src_ty
+                    && matches!(&e.provenance, EdgeProvenance::ForeignKey { table: t, column: c }
+                        if *t == table && *c == col)
+            }) {
+                resolved = Some(PatternEdge {
+                    edge_type: id,
+                    from: PatternNodeId(src),
+                    to: PatternNodeId(tgt),
+                });
+                break;
+            }
+        }
+        edges.push(resolved.ok_or_else(|| {
+            Error::SqlTranslate(format!(
+                "join `{alias_a}.{col_a} = {alias_b}.{col_b}` does not follow a \
+                 foreign key"
+            ))
+        })?);
+    }
+
+    // Junction and MVA slots -> M:N / MVA edges.
+    for (alias, slot) in &slots {
+        match slot {
+            Slot::Entity { .. } => {}
+            Slot::Junction {
+                table,
+                left_bind,
+                right_bind,
+                ..
+            } => {
+                let (Some(l), Some(r)) = (left_bind, right_bind) else {
+                    return Err(Error::SqlTranslate(format!(
+                        "junction `{alias}` is not joined on both foreign keys"
+                    )));
+                };
+                let src_ty = nodes[*l].node_type;
+                let et = tgdb
+                    .schema
+                    .edge_types()
+                    .find(|(_, e)| {
+                        e.forward
+                            && e.source == src_ty
+                            && matches!(&e.provenance, EdgeProvenance::Relation { table: t, .. }
+                                if t == table)
+                    })
+                    .map(|(id, _)| id)
+                    .ok_or_else(|| {
+                        Error::SqlTranslate(format!("no M:N edge type for `{table}`"))
+                    })?;
+                edges.push(PatternEdge {
+                    edge_type: et,
+                    from: PatternNodeId(*l),
+                    to: PatternNodeId(*r),
+                });
+            }
+            Slot::Mva {
+                table,
+                owner_bind,
+                node,
+                ..
+            } => {
+                let Some(owner) = owner_bind else {
+                    return Err(Error::SqlTranslate(format!(
+                        "MVA table `{alias}` is not joined to its owner"
+                    )));
+                };
+                let src_ty = nodes[*owner].node_type;
+                let et = tgdb
+                    .schema
+                    .edge_types()
+                    .find(|(_, e)| {
+                        e.forward
+                            && e.source == src_ty
+                            && matches!(&e.provenance, EdgeProvenance::MultiValued { table: t, .. }
+                                if t == table)
+                    })
+                    .map(|(id, _)| id)
+                    .ok_or_else(|| {
+                        Error::SqlTranslate(format!("no MVA edge type for `{table}`"))
+                    })?;
+                edges.push(PatternEdge {
+                    edge_type: et,
+                    from: PatternNodeId(*owner),
+                    to: PatternNodeId(*node),
+                });
+            }
+        }
+    }
+
+    // Step 2: selection conditions onto node filters.
+    for (alias, col, expr) in &residual {
+        let (node_idx, attr) = match slots.get(alias) {
+            Some(Slot::Entity { node, .. }) => (*node, col.clone()),
+            Some(Slot::Mva {
+                node, value_col, ..
+            }) => {
+                if col != value_col {
+                    return Err(Error::SqlTranslate(format!(
+                        "condition on MVA key column `{alias}.{col}` is unsupported"
+                    )));
+                }
+                (*node, value_col.clone())
+            }
+            Some(Slot::Junction { .. }) => {
+                return Err(Error::SqlTranslate(format!(
+                    "condition on junction table `{alias}` is unsupported (the \
+                     translation ignores relationship attributes)"
+                )))
+            }
+            None => {
+                return Err(Error::SqlTranslate(format!("unknown alias `{alias}`")));
+            }
+        };
+        let atom = sql_condition_to_atom(expr, &attr)?;
+        nodes[node_idx].filter.atoms.push(atom);
+    }
+
+    // Step 3: primary from GROUP BY, else the first entity in FROM ("if no
+    // group by attribute exists, arbitrarily set a primary node type").
+    let primary = if let Some(SqlExpr::Column(name)) = q.group_by.first() {
+        let (alias, _) = resolve_alias(name)?;
+        match slots.get(&alias) {
+            Some(Slot::Entity { node, .. }) => PatternNodeId(*node),
+            Some(Slot::Mva { node, .. }) => PatternNodeId(*node),
+            _ => {
+                return Err(Error::SqlTranslate(format!(
+                    "GROUP BY alias `{alias}` is not an entity or value node"
+                )))
+            }
+        }
+    } else {
+        refs.iter()
+            .find_map(|(a, _)| match slots.get(a) {
+                Some(Slot::Entity { node, .. }) => Some(PatternNodeId(*node)),
+                Some(Slot::Mva { node, .. }) => Some(PatternNodeId(*node)),
+                _ => None,
+            })
+            .ok_or_else(|| Error::SqlTranslate("no entity table in FROM".into()))?
+    };
+
+    // Global aggregates without grouping have no primary entity to pivot on.
+    if q.items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+        && q.group_by.is_empty()
+    {
+        return Err(Error::SqlTranslate(
+            "global aggregates have no ETable equivalent (no primary entity)".into(),
+        ));
+    }
+
+    let pattern = QueryPattern {
+        nodes,
+        edges,
+        primary,
+    };
+    pattern.validate(tgdb).map_err(|e| {
+        Error::SqlTranslate(format!(
+            "join graph is not a connected tree over entities: {e}"
+        ))
+    })?;
+    Ok(pattern)
+}
+
+/// Registers one cross-alias equi-join into the slot bindings.
+fn process_join(
+    slots: &mut BTreeMap<String, Slot>,
+    fk_joins: &mut Vec<(String, String, String, String)>,
+    alias_a: &str,
+    col_a: &str,
+    alias_b: &str,
+    col_b: &str,
+) -> Result<()> {
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum JoinSide {
+        Entity,
+        JunctionLeft,
+        JunctionRight,
+        MvaFk,
+        Other,
+    }
+    let classify = |alias: &str, col: &str, slots: &BTreeMap<String, Slot>| -> JoinSide {
+        match slots.get(alias) {
+            Some(Slot::Junction {
+                left_col,
+                right_col,
+                ..
+            }) => {
+                if col == left_col {
+                    JoinSide::JunctionLeft
+                } else if col == right_col {
+                    JoinSide::JunctionRight
+                } else {
+                    JoinSide::Other
+                }
+            }
+            Some(Slot::Mva { fk_col, .. }) => {
+                if col == fk_col {
+                    JoinSide::MvaFk
+                } else {
+                    JoinSide::Other
+                }
+            }
+            Some(Slot::Entity { .. }) => JoinSide::Entity,
+            None => JoinSide::Other,
+        }
+    };
+    let side_a = classify(alias_a, col_a, slots);
+    let side_b = classify(alias_b, col_b, slots);
+    let entity_index = |alias: &str, slots: &BTreeMap<String, Slot>| -> Result<usize> {
+        match slots.get(alias) {
+            Some(Slot::Entity { node, .. }) => Ok(*node),
+            _ => Err(Error::SqlTranslate(format!(
+                "expected entity alias, got `{alias}`"
+            ))),
+        }
+    };
+    match (side_a, side_b) {
+        (JoinSide::Entity, JoinSide::Entity) => {
+            fk_joins.push((
+                alias_a.to_string(),
+                col_a.to_string(),
+                alias_b.to_string(),
+                col_b.to_string(),
+            ));
+            Ok(())
+        }
+        (JoinSide::JunctionLeft, JoinSide::Entity) => {
+            bind_junction(slots, alias_a, true, entity_index(alias_b, slots)?)
+        }
+        (JoinSide::Entity, JoinSide::JunctionLeft) => {
+            bind_junction(slots, alias_b, true, entity_index(alias_a, slots)?)
+        }
+        (JoinSide::JunctionRight, JoinSide::Entity) => {
+            bind_junction(slots, alias_a, false, entity_index(alias_b, slots)?)
+        }
+        (JoinSide::Entity, JoinSide::JunctionRight) => {
+            bind_junction(slots, alias_b, false, entity_index(alias_a, slots)?)
+        }
+        (JoinSide::MvaFk, JoinSide::Entity) => {
+            bind_mva(slots, alias_a, entity_index(alias_b, slots)?)
+        }
+        (JoinSide::Entity, JoinSide::MvaFk) => {
+            bind_mva(slots, alias_b, entity_index(alias_a, slots)?)
+        }
+        _ => Err(Error::SqlTranslate(format!(
+            "unsupported join condition `{alias_a}.{col_a} = {alias_b}.{col_b}`"
+        ))),
+    }
+}
+
+fn bind_junction(
+    slots: &mut BTreeMap<String, Slot>,
+    alias: &str,
+    left: bool,
+    entity: usize,
+) -> Result<()> {
+    match slots.get_mut(alias) {
+        Some(Slot::Junction {
+            left_bind,
+            right_bind,
+            ..
+        }) => {
+            let slot = if left { left_bind } else { right_bind };
+            if slot.is_some() {
+                return Err(Error::SqlTranslate(format!(
+                    "junction `{alias}` joined twice on the same key"
+                )));
+            }
+            *slot = Some(entity);
+            Ok(())
+        }
+        _ => Err(Error::SqlTranslate(format!("`{alias}` is not a junction"))),
+    }
+}
+
+fn bind_mva(slots: &mut BTreeMap<String, Slot>, alias: &str, entity: usize) -> Result<()> {
+    match slots.get_mut(alias) {
+        Some(Slot::Mva { owner_bind, .. }) => {
+            if owner_bind.is_some() {
+                return Err(Error::SqlTranslate(format!(
+                    "MVA `{alias}` joined twice on its foreign key"
+                )));
+            }
+            *owner_bind = Some(entity);
+            Ok(())
+        }
+        _ => Err(Error::SqlTranslate(format!("`{alias}` is not an MVA table"))),
+    }
+}
+
+/// Converts a single-table SQL predicate into a filter atom on `attr`.
+fn sql_condition_to_atom(expr: &SqlExpr, attr: &str) -> Result<FilterAtom> {
+    match expr {
+        SqlExpr::Cmp(op, a, b) => {
+            let (lit, op) = match (a.as_ref(), b.as_ref()) {
+                (SqlExpr::Column(_), SqlExpr::Literal(v)) => (v, *op),
+                (SqlExpr::Literal(v), SqlExpr::Column(_)) => (v, flip(*op)),
+                _ => {
+                    return Err(Error::SqlTranslate(format!(
+                        "unsupported predicate `{expr}`"
+                    )))
+                }
+            };
+            Ok(FilterAtom::Cmp {
+                attr: attr.to_string(),
+                op,
+                value: lit.clone(),
+            })
+        }
+        SqlExpr::Like(_, p) => Ok(FilterAtom::Like {
+            attr: attr.to_string(),
+            pattern: p.clone(),
+        }),
+        SqlExpr::NotLike(_, p) => Ok(FilterAtom::NotLike {
+            attr: attr.to_string(),
+            pattern: p.clone(),
+        }),
+        SqlExpr::InList(_, vs) => Ok(FilterAtom::In {
+            attr: attr.to_string(),
+            values: vs.clone(),
+        }),
+        SqlExpr::IsNull(_) => Ok(FilterAtom::IsNull {
+            attr: attr.to_string(),
+        }),
+        other => Err(Error::SqlTranslate(format!(
+            "unsupported predicate `{other}` (the ETable interface builds \
+             conjunctions of simple predicates)"
+        ))),
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::match_primary;
+    use crate::ops;
+    use crate::testutil::{academic_db, academic_tgdb};
+    use std::collections::BTreeSet;
+
+    /// Executes a pattern and returns the primary nodes' key values (pk for
+    /// entities, value for value nodes) as strings.
+    fn pattern_keys(tgdb: &Tgdb, pattern: &QueryPattern) -> BTreeSet<String> {
+        let m = match_primary(tgdb, pattern).unwrap();
+        let nt = tgdb.schema.node_type(pattern.primary_node().node_type);
+        m.rows()
+            .iter()
+            .map(|&n| {
+                let node = tgdb.instances.node(n);
+                if nt.kind == NodeTypeKind::Entity {
+                    // First attribute is the pk for our schemas ("id").
+                    node.values[nt.attr_index("id").unwrap_or(0)].to_string()
+                } else {
+                    node.values[0].to_string()
+                }
+            })
+            .collect()
+    }
+
+    /// Executes SQL on the relational DB and returns column 0 as strings.
+    fn sql_keys(db: &Database, sql: &str) -> BTreeSet<String> {
+        let mut db = db.clone();
+        let r = etable_relational::sql::execute(&mut db, sql).unwrap();
+        r.rows.iter().map(|row| row[0].to_string()).collect()
+    }
+
+    fn korea_pattern(tgdb: &Tgdb) -> QueryPattern {
+        use crate::pattern::NodeFilter;
+        let (confs, _) = tgdb.schema.node_type_by_name("Conferences").unwrap();
+        let q = ops::initiate(tgdb, confs).unwrap();
+        let q = ops::select(tgdb, &q, NodeFilter::cmp("acronym", CmpOp::Eq, "KDD")).unwrap();
+        let (pe, _) = tgdb.schema.outgoing_by_name(confs, "Papers").unwrap();
+        let q = ops::add(tgdb, &q, pe).unwrap();
+        let papers_ty = q.primary_node().node_type;
+        let (ae, _) = tgdb.schema.outgoing_by_name(papers_ty, "Authors").unwrap();
+        let q = ops::add(tgdb, &q, ae).unwrap();
+        let authors_ty = q.primary_node().node_type;
+        let (ie, _) = tgdb
+            .schema
+            .outgoing_by_name(authors_ty, "Institutions")
+            .unwrap();
+        let q = ops::add(tgdb, &q, ie).unwrap();
+        let q = ops::select(tgdb, &q, NodeFilter::like("country", "%Korea%")).unwrap();
+        ops::shift(&q, PatternNodeId(2)).unwrap()
+    }
+
+    #[test]
+    fn to_sql_shows_paper_pattern() {
+        let tgdb = academic_tgdb();
+        let db = academic_db();
+        let q = korea_pattern(&tgdb);
+        let sql = to_sql(&tgdb, &db, &q).unwrap();
+        assert!(sql.starts_with("SELECT t2.*"), "{sql}");
+        assert!(sql.contains("ent_list("), "{sql}");
+        assert!(sql.contains("GROUP BY t2.id"), "{sql}");
+        assert!(sql.contains("Paper_Authors"), "{sql}");
+    }
+
+    #[test]
+    fn primary_sql_matches_pattern_execution() {
+        let tgdb = academic_tgdb();
+        let db = academic_db();
+        let q = korea_pattern(&tgdb);
+        let sql = to_primary_sql(&tgdb, &db, &q).unwrap();
+        assert_eq!(pattern_keys(&tgdb, &q), sql_keys(&db, &sql), "{sql}");
+    }
+
+    #[test]
+    fn primary_sql_with_mva_primary() {
+        // Keywords of papers published after 2011.
+        let tgdb = academic_tgdb();
+        let db = academic_db();
+        let (papers, _) = tgdb.schema.node_type_by_name("Papers").unwrap();
+        let q = ops::initiate(&tgdb, papers).unwrap();
+        let q = ops::select(
+            &tgdb,
+            &q,
+            crate::pattern::NodeFilter::cmp("year", CmpOp::Gt, 2011),
+        )
+        .unwrap();
+        let (ke, _) = tgdb
+            .schema
+            .outgoing_by_name(papers, "Paper_Keywords: keyword")
+            .unwrap();
+        let q = ops::add(&tgdb, &q, ke).unwrap();
+        let sql = to_primary_sql(&tgdb, &db, &q).unwrap();
+        assert_eq!(pattern_keys(&tgdb, &q), sql_keys(&db, &sql), "{sql}");
+    }
+
+    #[test]
+    fn from_sql_builds_equivalent_pattern() {
+        let tgdb = academic_tgdb();
+        let db = academic_db();
+        let sql = "SELECT p.id FROM Papers p, Paper_Authors pa, Authors a, Conferences c \
+                   WHERE p.id = pa.paper_id AND pa.author_id = a.id \
+                   AND p.conference_id = c.id AND c.acronym = 'SIGMOD' \
+                   GROUP BY p.id";
+        let pattern = from_sql(&tgdb, &db, sql).unwrap();
+        assert_eq!(pattern.len(), 3); // Papers, Authors, Conferences
+        assert_eq!(
+            tgdb.schema
+                .node_type(pattern.primary_node().node_type)
+                .name,
+            "Papers"
+        );
+        // SIGMOD papers with authors: 10 and 11.
+        let keys = pattern_keys(&tgdb, &pattern);
+        assert_eq!(
+            keys,
+            ["10", "11"].iter().map(|s| s.to_string()).collect()
+        );
+    }
+
+    #[test]
+    fn from_sql_handles_mva_tables() {
+        let tgdb = academic_tgdb();
+        let db = academic_db();
+        let sql = "SELECT p.id FROM Papers p, Paper_Keywords pk \
+                   WHERE pk.paper_id = p.id AND pk.keyword LIKE '%user%' \
+                   GROUP BY p.id";
+        let pattern = from_sql(&tgdb, &db, sql).unwrap();
+        let keys = pattern_keys(&tgdb, &pattern);
+        assert_eq!(keys, ["10", "12"].iter().map(|s| s.to_string()).collect());
+    }
+
+    #[test]
+    fn round_trip_preserves_result() {
+        // pattern -> SQL -> pattern yields the same primary set.
+        let tgdb = academic_tgdb();
+        let db = academic_db();
+        let q = korea_pattern(&tgdb);
+        let sql = to_primary_sql(&tgdb, &db, &q).unwrap();
+        // Re-shape the DISTINCT query into the §8 GROUP BY form so from_sql
+        // can pick the primary.
+        let grouped = sql.replacen("SELECT DISTINCT ", "SELECT ", 1) + " GROUP BY t2.id";
+        let back = from_sql(&tgdb, &db, &grouped).unwrap();
+        assert_eq!(pattern_keys(&tgdb, &q), pattern_keys(&tgdb, &back));
+    }
+
+    #[test]
+    fn neighbor_label_filter_translates_to_semijoin() {
+        // Papers whose Authors neighbor labels match '%Nandi%'.
+        let tgdb = academic_tgdb();
+        let db = academic_db();
+        let (papers, _) = tgdb.schema.node_type_by_name("Papers").unwrap();
+        let (ae, _) = tgdb.schema.outgoing_by_name(papers, "Authors").unwrap();
+        let q = ops::initiate(&tgdb, papers).unwrap();
+        let q = ops::select(
+            &tgdb,
+            &q,
+            NodeFilter::atom(FilterAtom::NeighborLabelLike {
+                edge: ae,
+                pattern: "%Nandi%".into(),
+            }),
+        )
+        .unwrap();
+        let sql = to_primary_sql(&tgdb, &db, &q).unwrap();
+        assert_eq!(pattern_keys(&tgdb, &q), sql_keys(&db, &sql), "{sql}");
+    }
+
+    #[test]
+    fn self_join_via_citations_round_trips() {
+        // "Papers citing a paper from before 2010": the Papers type occurs
+        // twice, joined through the self-relationship table.
+        let tgdb = academic_tgdb();
+        let db = academic_db();
+        let sql = "SELECT p1.id FROM Papers p1, Paper_References r, Papers p2 \
+                   WHERE r.paper_id = p1.id AND r.ref_paper_id = p2.id \
+                   AND p2.year < 2010 GROUP BY p1.id";
+        let pattern = from_sql(&tgdb, &db, sql).unwrap();
+        assert_eq!(pattern.len(), 2);
+        assert_eq!(pattern.nodes[0].node_type, pattern.nodes[1].node_type);
+        // Papers citing the 2007 paper: 11 and 12.
+        let keys = pattern_keys(&tgdb, &pattern);
+        assert_eq!(keys, ["11", "12"].iter().map(|s| s.to_string()).collect());
+        // And back to SQL.
+        let back = to_primary_sql(&tgdb, &db, &pattern).unwrap();
+        assert_eq!(keys, sql_keys(&db, &back), "{back}");
+    }
+
+    #[test]
+    fn from_sql_rejects_out_of_scope_queries() {
+        let tgdb = academic_tgdb();
+        let db = academic_db();
+        // Global aggregate: no primary entity.
+        assert!(from_sql(&tgdb, &db, "SELECT COUNT(*) FROM Papers").is_err());
+        // Non-FK join condition.
+        assert!(from_sql(
+            &tgdb,
+            &db,
+            "SELECT p.id FROM Papers p, Authors a WHERE p.year = a.id"
+        )
+        .is_err());
+        // Disconnected join graph.
+        assert!(from_sql(&tgdb, &db, "SELECT p.id FROM Papers p, Authors a").is_err());
+    }
+
+    #[test]
+    fn node_is_filter_translates_to_pk_equality() {
+        let tgdb = academic_tgdb();
+        let db = academic_db();
+        let (papers, _) = tgdb.schema.node_type_by_name("Papers").unwrap();
+        let node = tgdb.node_by_pk(papers, &11.into()).unwrap();
+        let q = ops::initiate(&tgdb, papers).unwrap();
+        let q = ops::select(&tgdb, &q, NodeFilter::node_is(node)).unwrap();
+        let sql = to_primary_sql(&tgdb, &db, &q).unwrap();
+        assert!(sql.contains("t0.id = 11"), "{sql}");
+        assert_eq!(pattern_keys(&tgdb, &q), sql_keys(&db, &sql));
+    }
+}

@@ -1,0 +1,632 @@
+//! Relational algebra over materialized relations.
+//!
+//! These operators power the SQL executor and the "Navicat-style" baseline
+//! used in the evaluation: plain joins that exhibit the duplication blowup
+//! the paper's introduction motivates (Figure 1 caption).
+
+use crate::expr::Expr;
+use crate::table::Row;
+use crate::value::{DataType, Value};
+use crate::{Error, Result};
+use std::collections::HashMap;
+
+/// A column of an intermediate relation: optional table qualifier + name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelColumn {
+    /// Table alias or name this column came from, if any.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+}
+
+impl RelColumn {
+    /// Creates a qualified column.
+    pub fn qualified(qualifier: impl Into<String>, name: impl Into<String>, ty: DataType) -> Self {
+        RelColumn {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+            data_type: ty,
+        }
+    }
+
+    /// Creates an unqualified column.
+    pub fn bare(name: impl Into<String>, ty: DataType) -> Self {
+        RelColumn {
+            qualifier: None,
+            name: name.into(),
+            data_type: ty,
+        }
+    }
+
+    /// `qualifier.name` or just `name`.
+    pub fn qualified_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// Whether this column is referred to by `name`, which may be
+    /// `column` or `qualifier.column`.
+    pub fn matches_name(&self, name: &str) -> bool {
+        if let Some((q, c)) = name.split_once('.') {
+            self.qualifier.as_deref() == Some(q) && self.name == c
+        } else {
+            self.name == name
+        }
+    }
+}
+
+/// A fully materialized intermediate relation.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    /// Output columns.
+    pub columns: Vec<RelColumn>,
+    /// Tuples.
+    pub rows: Vec<Row>,
+}
+
+impl Relation {
+    /// Creates a relation.
+    pub fn new(columns: Vec<RelColumn>, rows: Vec<Row>) -> Self {
+        Relation { columns, rows }
+    }
+
+    /// Builds a relation from a stored table, qualifying columns with `alias`.
+    pub fn from_table(table: &crate::table::Table, alias: &str) -> Self {
+        let columns = table
+            .schema()
+            .columns
+            .iter()
+            .map(|c| RelColumn::qualified(alias, &c.name, c.data_type))
+            .collect();
+        Relation {
+            columns,
+            rows: table.rows().to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Resolves a (possibly qualified) column name to its position.
+    ///
+    /// Errors on unknown and on ambiguous unqualified names.
+    pub fn resolve(&self, name: &str) -> Result<usize> {
+        let hits: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.matches_name(name))
+            .map(|(i, _)| i)
+            .collect();
+        match hits.len() {
+            0 => Err(Error::UnknownColumn(name.to_string())),
+            1 => Ok(hits[0]),
+            _ => Err(Error::Eval(format!("ambiguous column reference `{name}`"))),
+        }
+    }
+
+    /// σ — keeps rows satisfying `pred`.
+    pub fn select(&self, pred: &Expr) -> Result<Relation> {
+        let mut rows = Vec::new();
+        for r in &self.rows {
+            if pred.matches(r)? {
+                rows.push(r.clone());
+            }
+        }
+        Ok(Relation::new(self.columns.clone(), rows))
+    }
+
+    /// π — keeps the columns at `indices`, in that order.
+    pub fn project(&self, indices: &[usize]) -> Result<Relation> {
+        for &i in indices {
+            if i >= self.columns.len() {
+                return Err(Error::Eval(format!("projection index {i} out of range")));
+            }
+        }
+        let columns = indices.iter().map(|&i| self.columns[i].clone()).collect();
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| indices.iter().map(|&i| r[i].clone()).collect())
+            .collect();
+        Ok(Relation::new(columns, rows))
+    }
+
+    /// Removes duplicate rows (set semantics), preserving first occurrence.
+    pub fn distinct(&self) -> Relation {
+        let mut seen = std::collections::HashSet::new();
+        let rows = self
+            .rows
+            .iter()
+            .filter(|r| seen.insert((*r).clone()))
+            .cloned()
+            .collect();
+        Relation::new(self.columns.clone(), rows)
+    }
+
+    /// Equi-join on `self[left_col] = other[right_col]` using a hash join.
+    ///
+    /// Output columns are `self.columns ++ other.columns`.
+    pub fn hash_join(&self, other: &Relation, left_col: usize, right_col: usize) -> Result<Relation> {
+        if left_col >= self.columns.len() || right_col >= other.columns.len() {
+            return Err(Error::Eval("join column out of range".into()));
+        }
+        // Build on the smaller side.
+        let (build, probe, build_col, probe_col, build_is_left) =
+            if self.len() <= other.len() {
+                (self, other, left_col, right_col, true)
+            } else {
+                (other, self, right_col, left_col, false)
+            };
+        let mut index: HashMap<&Value, Vec<usize>> = HashMap::new();
+        for (i, r) in build.rows.iter().enumerate() {
+            if !r[build_col].is_null() {
+                index.entry(&r[build_col]).or_default().push(i);
+            }
+        }
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        let mut rows = Vec::new();
+        for pr in &probe.rows {
+            let key = &pr[probe_col];
+            if key.is_null() {
+                continue;
+            }
+            if let Some(hits) = index.get(key) {
+                for &bi in hits {
+                    let br = &build.rows[bi];
+                    let mut out = Vec::with_capacity(self.columns.len() + other.columns.len());
+                    if build_is_left {
+                        out.extend(br.iter().cloned());
+                        out.extend(pr.iter().cloned());
+                    } else {
+                        out.extend(pr.iter().cloned());
+                        out.extend(br.iter().cloned());
+                    }
+                    rows.push(out);
+                }
+            }
+        }
+        Ok(Relation::new(columns, rows))
+    }
+
+    /// Nested-loop join with an arbitrary predicate over the concatenated row.
+    pub fn nl_join(&self, other: &Relation, pred: &Expr) -> Result<Relation> {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        let mut rows = Vec::new();
+        for l in &self.rows {
+            for r in &other.rows {
+                let mut combined = Vec::with_capacity(l.len() + r.len());
+                combined.extend(l.iter().cloned());
+                combined.extend(r.iter().cloned());
+                if pred.matches(&combined)? {
+                    rows.push(combined);
+                }
+            }
+        }
+        Ok(Relation::new(columns, rows))
+    }
+
+    /// Cartesian product.
+    pub fn cross(&self, other: &Relation) -> Relation {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        let mut rows = Vec::with_capacity(self.len() * other.len());
+        for l in &self.rows {
+            for r in &other.rows {
+                let mut combined = Vec::with_capacity(l.len() + r.len());
+                combined.extend(l.iter().cloned());
+                combined.extend(r.iter().cloned());
+                rows.push(combined);
+            }
+        }
+        Relation::new(columns, rows)
+    }
+
+    /// Sorts rows by the given keys (stable).
+    pub fn sort_by(&self, keys: &[SortKey]) -> Relation {
+        let mut rows = self.rows.clone();
+        rows.sort_by(|a, b| {
+            for k in keys {
+                let ord = a[k.column].total_cmp(&b[k.column]);
+                let ord = if k.descending { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        Relation::new(self.columns.clone(), rows)
+    }
+
+    /// Keeps the first `n` rows.
+    pub fn limit(&self, n: usize) -> Relation {
+        Relation::new(
+            self.columns.clone(),
+            self.rows.iter().take(n).cloned().collect(),
+        )
+    }
+
+    /// Skips the first `n` rows (SQL OFFSET).
+    pub fn offset(&self, n: usize) -> Relation {
+        Relation::new(
+            self.columns.clone(),
+            self.rows.iter().skip(n).cloned().collect(),
+        )
+    }
+
+    /// GROUP BY + aggregates.
+    ///
+    /// `group_cols` are the grouping key positions; each aggregate consumes
+    /// an input column (or `None` for `COUNT(*)`). Output columns are the
+    /// group keys followed by one column per aggregate.
+    pub fn group_by(&self, group_cols: &[usize], aggs: &[AggSpec]) -> Result<Relation> {
+        let mut groups: Vec<(Vec<Value>, Vec<AggState>)> = Vec::new();
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+        for row in &self.rows {
+            let key: Vec<Value> = group_cols.iter().map(|&i| row[i].clone()).collect();
+            let gi = *index.entry(key.clone()).or_insert_with(|| {
+                groups.push((key, aggs.iter().map(AggState::new).collect()));
+                groups.len() - 1
+            });
+            for (state, spec) in groups[gi].1.iter_mut().zip(aggs) {
+                let v = spec.input.map(|c| &row[c]);
+                state.update(v)?;
+            }
+        }
+        // Empty input with no grouping keys still yields a single group for
+        // aggregates, matching SQL semantics.
+        if groups.is_empty() && group_cols.is_empty() && !aggs.is_empty() {
+            groups.push((Vec::new(), aggs.iter().map(AggState::new).collect()));
+        }
+        let mut columns: Vec<RelColumn> = group_cols
+            .iter()
+            .map(|&i| self.columns[i].clone())
+            .collect();
+        for spec in aggs {
+            let ty = match spec.func {
+                AggFunc::Count => DataType::Int,
+                AggFunc::Avg => DataType::Float,
+                AggFunc::Sum | AggFunc::Min | AggFunc::Max => spec
+                    .input
+                    .map(|c| self.columns[c].data_type)
+                    .unwrap_or(DataType::Int),
+            };
+            columns.push(RelColumn::bare(spec.output_name.clone(), ty));
+        }
+        let rows = groups
+            .into_iter()
+            .map(|(key, states)| {
+                let mut out = key;
+                out.extend(states.into_iter().map(AggState::finish));
+                out
+            })
+            .collect();
+        Ok(Relation::new(columns, rows))
+    }
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, Copy)]
+pub struct SortKey {
+    /// Column position.
+    pub column: usize,
+    /// Descending order?
+    pub descending: bool,
+}
+
+impl SortKey {
+    /// Ascending key.
+    pub fn asc(column: usize) -> Self {
+        SortKey {
+            column,
+            descending: false,
+        }
+    }
+
+    /// Descending key.
+    pub fn desc(column: usize) -> Self {
+        SortKey {
+            column,
+            descending: true,
+        }
+    }
+}
+
+/// Aggregate functions supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// COUNT(col) or COUNT(*) when input is None.
+    Count,
+    /// SUM(col).
+    Sum,
+    /// AVG(col).
+    Avg,
+    /// MIN(col).
+    Min,
+    /// MAX(col).
+    Max,
+}
+
+/// An aggregate over an input column.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    /// Which aggregate.
+    pub func: AggFunc,
+    /// Input column position; `None` means `COUNT(*)`.
+    pub input: Option<usize>,
+    /// Name of the output column.
+    pub output_name: String,
+}
+
+impl AggSpec {
+    /// Builds a spec.
+    pub fn new(func: AggFunc, input: Option<usize>, output_name: impl Into<String>) -> Self {
+        AggSpec {
+            func,
+            input,
+            output_name: output_name.into(),
+        }
+    }
+
+    /// `COUNT(*)` spec.
+    pub fn count_star(output_name: impl Into<String>) -> Self {
+        Self::new(AggFunc::Count, None, output_name)
+    }
+}
+
+#[derive(Debug)]
+enum AggState {
+    Count(i64),
+    Sum { sum: f64, any: bool, int_only: bool },
+    Avg { sum: f64, n: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggState {
+    fn new(spec: &AggSpec) -> AggState {
+        match spec.func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => AggState::Sum {
+                sum: 0.0,
+                any: false,
+                int_only: true,
+            },
+            AggFunc::Avg => AggState::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) -> Result<()> {
+        match self {
+            AggState::Count(n) => {
+                // COUNT(*) counts rows; COUNT(col) skips NULLs.
+                match v {
+                    None => *n += 1,
+                    Some(val) if !val.is_null() => *n += 1,
+                    _ => {}
+                }
+            }
+            AggState::Sum { sum, any, int_only } => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let f = val
+                            .as_float()
+                            .ok_or_else(|| Error::Eval(format!("SUM over non-number {val}")))?;
+                        if !matches!(val, Value::Int(_)) {
+                            *int_only = false;
+                        }
+                        *sum += f;
+                        *any = true;
+                    }
+                }
+            }
+            AggState::Avg { sum, n } => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let f = val
+                            .as_float()
+                            .ok_or_else(|| Error::Eval(format!("AVG over non-number {val}")))?;
+                        *sum += f;
+                        *n += 1;
+                    }
+                }
+            }
+            AggState::Min(best) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let better = match best {
+                            Some(b) => val.total_cmp(b) == std::cmp::Ordering::Less,
+                            None => true,
+                        };
+                        if better {
+                            *best = Some(val.clone());
+                        }
+                    }
+                }
+            }
+            AggState::Max(best) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let better = match best {
+                            Some(b) => val.total_cmp(b) == std::cmp::Ordering::Greater,
+                            None => true,
+                        };
+                        if better {
+                            *best = Some(val.clone());
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(n) => Value::Int(n),
+            AggState::Sum { sum, any, int_only } => {
+                if !any {
+                    Value::Null
+                } else if int_only {
+                    Value::Int(sum as i64)
+                } else {
+                    Value::Float(sum)
+                }
+            }
+            AggState::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(names: &[&str], rows: Vec<Row>) -> Relation {
+        let columns = names
+            .iter()
+            .map(|n| RelColumn::bare(*n, DataType::Int))
+            .collect();
+        Relation::new(columns, rows)
+    }
+
+    #[test]
+    fn select_filters() {
+        let r = rel(&["a"], vec![vec![1.into()], vec![2.into()], vec![3.into()]]);
+        let out = r.select(&Expr::col(0).gt(Expr::lit(1))).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn project_reorders() {
+        let r = rel(&["a", "b"], vec![vec![1.into(), 2.into()]]);
+        let out = r.project(&[1, 0]).unwrap();
+        assert_eq!(out.columns[0].name, "b");
+        assert_eq!(out.rows[0], vec![Value::Int(2), Value::Int(1)]);
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop() {
+        let left = rel(
+            &["id"],
+            (0..20).map(|i| vec![Value::Int(i % 5)]).collect(),
+        );
+        let right = rel(
+            &["fk"],
+            (0..10).map(|i| vec![Value::Int(i % 3)]).collect(),
+        );
+        let h = left.hash_join(&right, 0, 0).unwrap();
+        let n = left
+            .nl_join(&right, &Expr::col(0).eq(Expr::col(1)))
+            .unwrap();
+        let mut hr = h.rows.clone();
+        let mut nr = n.rows.clone();
+        hr.sort();
+        nr.sort();
+        assert_eq!(hr, nr);
+    }
+
+    #[test]
+    fn hash_join_skips_nulls() {
+        let left = rel(&["id"], vec![vec![Value::Null], vec![1.into()]]);
+        let right = rel(&["fk"], vec![vec![Value::Null], vec![1.into()]]);
+        let out = left.hash_join(&right, 0, 0).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let r = rel(&["a"], vec![vec![1.into()], vec![1.into()], vec![2.into()]]);
+        assert_eq!(r.distinct().len(), 2);
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let r = rel(&["a"], vec![vec![3.into()], vec![1.into()], vec![2.into()]]);
+        let out = r.sort_by(&[SortKey::desc(0)]).limit(2);
+        assert_eq!(out.rows, vec![vec![Value::Int(3)], vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn group_by_count() {
+        let r = rel(
+            &["k", "v"],
+            vec![
+                vec![1.into(), 10.into()],
+                vec![1.into(), Value::Null],
+                vec![2.into(), 30.into()],
+            ],
+        );
+        let out = r
+            .group_by(
+                &[0],
+                &[
+                    AggSpec::count_star("n"),
+                    AggSpec::new(AggFunc::Count, Some(1), "nv"),
+                    AggSpec::new(AggFunc::Sum, Some(1), "s"),
+                    AggSpec::new(AggFunc::Avg, Some(1), "a"),
+                    AggSpec::new(AggFunc::Min, Some(1), "mn"),
+                    AggSpec::new(AggFunc::Max, Some(1), "mx"),
+                ],
+            )
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        let g1 = out.rows.iter().find(|r| r[0] == 1.into()).unwrap();
+        assert_eq!(g1[1], Value::Int(2)); // COUNT(*)
+        assert_eq!(g1[2], Value::Int(1)); // COUNT(v) skips NULL
+        assert_eq!(g1[3], Value::Int(10)); // SUM
+        assert_eq!(g1[4], Value::Float(10.0)); // AVG
+        assert_eq!(g1[5], Value::Int(10)); // MIN
+        assert_eq!(g1[6], Value::Int(10)); // MAX
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let r = rel(&["a"], vec![]);
+        let out = r.group_by(&[], &[AggSpec::count_star("n")]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows[0][0], Value::Int(0));
+    }
+
+    #[test]
+    fn resolve_qualified_and_ambiguous() {
+        let columns = vec![
+            RelColumn::qualified("p", "id", DataType::Int),
+            RelColumn::qualified("a", "id", DataType::Int),
+        ];
+        let r = Relation::new(columns, vec![]);
+        assert!(r.resolve("id").is_err()); // ambiguous
+        assert_eq!(r.resolve("p.id").unwrap(), 0);
+        assert_eq!(r.resolve("a.id").unwrap(), 1);
+        assert!(r.resolve("x.id").is_err());
+    }
+
+    #[test]
+    fn cross_product_size() {
+        let a = rel(&["a"], vec![vec![1.into()], vec![2.into()]]);
+        let b = rel(&["b"], vec![vec![3.into()], vec![4.into()], vec![5.into()]]);
+        assert_eq!(a.cross(&b).len(), 6);
+    }
+}

@@ -1,0 +1,349 @@
+//! The database: a catalog of tables plus cross-table integrity checks.
+
+use crate::schema::TableSchema;
+use crate::table::{Row, Table};
+use crate::value::Value;
+use crate::{Error, Result};
+use std::collections::BTreeMap;
+
+/// An in-memory relational database.
+///
+/// Tables are kept in a `BTreeMap` so that iteration order (and therefore all
+/// derived output, e.g. the TGM translation) is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a table from `schema`.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<()> {
+        if self.tables.contains_key(&schema.name) {
+            return Err(Error::Schema(format!(
+                "table `{}` already exists",
+                schema.name
+            )));
+        }
+        let name = schema.name.clone();
+        self.tables.insert(name, Table::new(schema)?);
+        Ok(())
+    }
+
+    /// Table by name.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| Error::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable table by name.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| Error::UnknownTable(name.to_string()))
+    }
+
+    /// Whether a table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// All table names in deterministic (sorted) order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// All tables in deterministic order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Inserts a row with foreign-key enforcement.
+    ///
+    /// For every FK of the target table, the referenced key must exist in the
+    /// referenced table (NULL FK values are allowed and mean "no reference").
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<usize> {
+        // Check FKs before mutating.
+        let schema = self.table(table)?.schema().clone();
+        for fk in &schema.foreign_keys {
+            let referencing: Vec<Value> = fk
+                .columns
+                .iter()
+                .map(|c| {
+                    schema
+                        .column_index(c)
+                        .map(|i| row.get(i).cloned().unwrap_or(Value::Null))
+                        .ok_or_else(|| {
+                            Error::Schema(format!("FK column `{c}` missing in `{table}`"))
+                        })
+                })
+                .collect::<Result<_>>()?;
+            if referencing.iter().any(Value::is_null) {
+                continue;
+            }
+            let target = self.table(&fk.referenced_table)?;
+            // FK must reference the PK of the target table.
+            if target.schema().primary_key != fk.referenced_columns {
+                // Referencing a non-PK key: fall back to a scan.
+                let idxs: Vec<usize> = fk
+                    .referenced_columns
+                    .iter()
+                    .map(|c| {
+                        target.schema().column_index(c).ok_or_else(|| {
+                            Error::Schema(format!(
+                                "FK referenced column `{c}` missing in `{}`",
+                                fk.referenced_table
+                            ))
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                let found = target.rows().iter().any(|r| {
+                    idxs.iter()
+                        .zip(&referencing)
+                        .all(|(&i, v)| r[i].sql_eq(v) == Some(true))
+                });
+                if !found {
+                    return Err(Error::Constraint(format!(
+                        "FK violation: `{table}` -> `{}` key {referencing:?} not found",
+                        fk.referenced_table
+                    )));
+                }
+            } else if target.get_by_pk(&referencing).is_none() {
+                return Err(Error::Constraint(format!(
+                    "FK violation: `{table}` -> `{}` key {referencing:?} not found",
+                    fk.referenced_table
+                )));
+            }
+        }
+        self.table_mut(table)?.insert(row)
+    }
+
+    /// Inserts a row without foreign-key checks (bulk loading in dependency
+    /// order is validated separately by [`Database::check_integrity`]).
+    pub fn insert_unchecked(&mut self, table: &str, row: Row) -> Result<usize> {
+        self.table_mut(table)?.insert(row)
+    }
+
+    /// Verifies all foreign keys in the whole database.
+    pub fn check_integrity(&self) -> Result<()> {
+        for table in self.tables.values() {
+            let schema = table.schema();
+            for fk in &schema.foreign_keys {
+                let src_idx: Vec<usize> = fk
+                    .columns
+                    .iter()
+                    .map(|c| schema.column_index(c).expect("validated schema"))
+                    .collect();
+                let target = self.table(&fk.referenced_table)?;
+                let uses_pk = target.schema().primary_key == fk.referenced_columns;
+                let tgt_idx: Vec<usize> = fk
+                    .referenced_columns
+                    .iter()
+                    .map(|c| {
+                        target.schema().column_index(c).ok_or_else(|| {
+                            Error::Schema(format!(
+                                "FK referenced column `{c}` missing in `{}`",
+                                fk.referenced_table
+                            ))
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                for row in table.rows() {
+                    let key: Vec<Value> = src_idx.iter().map(|&i| row[i].clone()).collect();
+                    if key.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    let ok = if uses_pk {
+                        target.get_by_pk(&key).is_some()
+                    } else {
+                        target.rows().iter().any(|r| {
+                            tgt_idx
+                                .iter()
+                                .zip(&key)
+                                .all(|(&i, v)| r[i].sql_eq(v) == Some(true))
+                        })
+                    };
+                    if !ok {
+                        return Err(Error::Constraint(format!(
+                            "integrity: `{}` -> `{}` dangling key {key:?}",
+                            schema.name, fk.referenced_table
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total row count across tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+
+    /// Deletes rows of `table` matching `pred`, enforcing that no other
+    /// table still references the deleted keys (RESTRICT semantics).
+    pub fn delete_where(&mut self, table: &str, pred: &crate::expr::Expr) -> Result<usize> {
+        // Collect the PK values about to disappear.
+        let target = self.table(table)?;
+        let pk_idx = target.schema().primary_key_indices()?;
+        let mut doomed: Vec<Vec<Value>> = Vec::new();
+        for row in target.rows() {
+            if pred.matches(row)? {
+                doomed.push(pk_idx.iter().map(|&i| row[i].clone()).collect());
+            }
+        }
+        if doomed.is_empty() {
+            return Ok(0);
+        }
+        // RESTRICT: scan referencing tables.
+        for other in self.tables.values() {
+            for fk in &other.schema().foreign_keys {
+                if fk.referenced_table != table {
+                    continue;
+                }
+                let ref_idx: Vec<usize> = fk
+                    .columns
+                    .iter()
+                    .map(|c| other.schema().column_index(c).expect("validated schema"))
+                    .collect();
+                // FK must target the PK for this check to apply positionally.
+                for row in other.rows() {
+                    let key: Vec<Value> = ref_idx.iter().map(|&i| row[i].clone()).collect();
+                    if key.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    if doomed.contains(&key) {
+                        return Err(Error::Constraint(format!(
+                            "cannot delete from `{table}`: key {key:?} is referenced by `{}`",
+                            other.schema().name
+                        )));
+                    }
+                }
+            }
+        }
+        self.table_mut(table)?.delete_where(pred)
+    }
+
+    /// Updates rows of `table` matching `pred`; `sets` pairs column names
+    /// with new values. The whole-database integrity check runs afterwards
+    /// and the update is rolled back if it fails.
+    pub fn update_where(
+        &mut self,
+        table: &str,
+        pred: &crate::expr::Expr,
+        sets: &[(String, Value)],
+    ) -> Result<usize> {
+        let schema = self.table(table)?.schema().clone();
+        let resolved: Vec<(usize, Value)> = sets
+            .iter()
+            .map(|(name, v)| {
+                schema
+                    .column_index(name)
+                    .map(|i| (i, v.clone()))
+                    .ok_or_else(|| Error::UnknownColumn(name.clone()))
+            })
+            .collect::<Result<_>>()?;
+        let backup = self.table(table)?.clone();
+        let changed = self.table_mut(table)?.update_where(pred, &resolved)?;
+        if changed > 0 {
+            // Updates may break FKs in either direction; verify globally.
+            if let Err(e) = self.check_integrity() {
+                *self.table_mut(table)? = backup;
+                return Err(e);
+            }
+        }
+        Ok(changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ForeignKey, TableSchema};
+    use crate::value::DataType;
+
+    fn two_table_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "Conferences",
+                vec![
+                    Column::new("id", DataType::Int),
+                    Column::new("acronym", DataType::Text),
+                ],
+            )
+            .with_primary_key(&["id"]),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new(
+                "Papers",
+                vec![
+                    Column::new("id", DataType::Int),
+                    Column::new("conference_id", DataType::Int),
+                    Column::new("title", DataType::Text),
+                ],
+            )
+            .with_primary_key(&["id"])
+            .with_foreign_key(ForeignKey::single("conference_id", "Conferences", "id")),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn fk_enforced_on_insert() {
+        let mut db = two_table_db();
+        db.insert("Conferences", vec![1.into(), "SIGMOD".into()])
+            .unwrap();
+        db.insert("Papers", vec![10.into(), 1.into(), "P".into()])
+            .unwrap();
+        let err = db.insert("Papers", vec![11.into(), 99.into(), "Q".into()]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = two_table_db();
+        let dup = TableSchema::new("Papers", vec![Column::new("id", DataType::Int)]);
+        assert!(db.create_table(dup).is_err());
+    }
+
+    #[test]
+    fn integrity_check_finds_dangling_fk() {
+        let mut db = two_table_db();
+        db.insert_unchecked("Papers", vec![10.into(), 7.into(), "P".into()])
+            .unwrap();
+        assert!(db.check_integrity().is_err());
+        db.insert_unchecked("Conferences", vec![7.into(), "KDD".into()])
+            .unwrap();
+        assert!(db.check_integrity().is_ok());
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let db = two_table_db();
+        assert_eq!(db.table_names(), vec!["Conferences", "Papers"]);
+    }
+
+    #[test]
+    fn unknown_table_error() {
+        let db = two_table_db();
+        assert!(db.table("Nope").is_err());
+    }
+
+    #[test]
+    fn total_rows_counts_everything() {
+        let mut db = two_table_db();
+        db.insert("Conferences", vec![1.into(), "CHI".into()])
+            .unwrap();
+        db.insert("Papers", vec![2.into(), 1.into(), "X".into()])
+            .unwrap();
+        assert_eq!(db.total_rows(), 2);
+    }
+}

@@ -1,0 +1,73 @@
+//! # etable-relational
+//!
+//! An in-memory relational database engine: the substrate underneath the
+//! ETable reproduction (the original system used PostgreSQL; see DESIGN.md
+//! for the substitution rationale).
+//!
+//! Provides:
+//!
+//! * typed scalar [`value::Value`]s and schemas with primary/foreign keys,
+//! * constraint-checked row storage with hash indexes,
+//! * a relational algebra ([`algebra::Relation`]) with selection, projection,
+//!   hash/nested-loop joins, grouping and sorting,
+//! * a small SQL dialect ([`sql`]) with a greedy hash-join planner.
+//!
+//! ```
+//! use etable_relational::database::Database;
+//! use etable_relational::sql::execute;
+//!
+//! let mut db = Database::new();
+//! execute(&mut db, "CREATE TABLE t (id INT PRIMARY KEY, name TEXT)").unwrap();
+//! execute(&mut db, "INSERT INTO t VALUES (1, 'a'), (2, 'b')").unwrap();
+//! let r = execute(&mut db, "SELECT name FROM t WHERE id = 2").unwrap();
+//! assert_eq!(r.rows[0][0], "b".into());
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod algebra;
+pub mod csv;
+pub mod database;
+pub mod expr;
+pub mod schema;
+pub mod sql;
+pub mod table;
+pub mod value;
+
+use std::fmt;
+
+/// Errors produced by the relational engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Schema definition problem.
+    Schema(String),
+    /// Constraint violation (PK, FK, type, nullability).
+    Constraint(String),
+    /// Unknown table.
+    UnknownTable(String),
+    /// Unknown column.
+    UnknownColumn(String),
+    /// Expression evaluation problem.
+    Eval(String),
+    /// SQL parse error.
+    Parse(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Schema(m) => write!(f, "schema error: {m}"),
+            Error::Constraint(m) => write!(f, "constraint violation: {m}"),
+            Error::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            Error::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            Error::Eval(m) => write!(f, "evaluation error: {m}"),
+            Error::Parse(m) => write!(f, "SQL parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for the crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,296 @@
+//! Relational schema objects: columns, tables, keys, and the catalog.
+//!
+//! The typed-graph-model translation (paper Appendix A) classifies relations
+//! by inspecting primary keys and foreign keys, so the schema layer records
+//! both explicitly.
+
+use crate::value::DataType;
+use crate::{Error, Result};
+use std::fmt;
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name, unique within its table.
+    pub name: String,
+    /// Declared type.
+    pub data_type: DataType,
+    /// Whether NULLs are permitted.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// Creates a non-nullable column.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Column {
+            name: name.into(),
+            data_type,
+            nullable: false,
+        }
+    }
+
+    /// Creates a nullable column.
+    pub fn nullable(name: impl Into<String>, data_type: DataType) -> Self {
+        Column {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
+    }
+}
+
+/// A foreign-key constraint: `columns` of the owning table reference the
+/// primary key of `referenced_table`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing column names in the owning table.
+    pub columns: Vec<String>,
+    /// Name of the referenced table.
+    pub referenced_table: String,
+    /// Referenced (primary-key) column names.
+    pub referenced_columns: Vec<String>,
+}
+
+impl ForeignKey {
+    /// Single-column foreign key, the common case in the paper's schema.
+    pub fn single(
+        column: impl Into<String>,
+        referenced_table: impl Into<String>,
+        referenced_column: impl Into<String>,
+    ) -> Self {
+        ForeignKey {
+            columns: vec![column.into()],
+            referenced_table: referenced_table.into(),
+            referenced_columns: vec![referenced_column.into()],
+        }
+    }
+}
+
+/// Schema of one table: ordered columns plus key constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name, unique in the catalog.
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<Column>,
+    /// Primary-key column names (possibly composite, possibly empty).
+    pub primary_key: Vec<String>,
+    /// Foreign-key constraints.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableSchema {
+    /// Creates a schema with no keys; use the builder methods to add them.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Self {
+        TableSchema {
+            name: name.into(),
+            columns,
+            primary_key: Vec::new(),
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    /// Sets the primary key (builder style).
+    pub fn with_primary_key(mut self, cols: &[&str]) -> Self {
+        self.primary_key = cols.iter().map(|c| c.to_string()).collect();
+        self
+    }
+
+    /// Adds a foreign key (builder style).
+    pub fn with_foreign_key(mut self, fk: ForeignKey) -> Self {
+        self.foreign_keys.push(fk);
+        self
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column definition by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Positions of the primary-key columns.
+    ///
+    /// Errors if a PK column name does not exist (schema bug).
+    pub fn primary_key_indices(&self) -> Result<Vec<usize>> {
+        self.primary_key
+            .iter()
+            .map(|name| {
+                self.column_index(name).ok_or_else(|| {
+                    Error::Schema(format!(
+                        "primary key column `{name}` not found in table `{}`",
+                        self.name
+                    ))
+                })
+            })
+            .collect()
+    }
+
+    /// Whether `col` participates in the primary key.
+    pub fn is_pk_column(&self, col: &str) -> bool {
+        self.primary_key.iter().any(|c| c == col)
+    }
+
+    /// Whether `col` participates in any foreign key.
+    pub fn is_fk_column(&self, col: &str) -> bool {
+        self.foreign_keys
+            .iter()
+            .any(|fk| fk.columns.iter().any(|c| c == col))
+    }
+
+    /// The foreign key whose (single) referencing column is `col`, if any.
+    pub fn fk_on_column(&self, col: &str) -> Option<&ForeignKey> {
+        self.foreign_keys
+            .iter()
+            .find(|fk| fk.columns.len() == 1 && fk.columns[0] == col)
+    }
+
+    /// Validates internal consistency: unique column names, existing PK/FK
+    /// columns, non-nullable PK columns.
+    pub fn validate(&self) -> Result<()> {
+        for (i, c) in self.columns.iter().enumerate() {
+            if self.columns[..i].iter().any(|d| d.name == c.name) {
+                return Err(Error::Schema(format!(
+                    "duplicate column `{}` in table `{}`",
+                    c.name, self.name
+                )));
+            }
+        }
+        for pk in &self.primary_key {
+            let col = self.column(pk).ok_or_else(|| {
+                Error::Schema(format!(
+                    "primary key column `{pk}` missing in table `{}`",
+                    self.name
+                ))
+            })?;
+            if col.nullable {
+                return Err(Error::Schema(format!(
+                    "primary key column `{pk}` of `{}` must not be nullable",
+                    self.name
+                )));
+            }
+        }
+        for fk in &self.foreign_keys {
+            if fk.columns.len() != fk.referenced_columns.len() {
+                return Err(Error::Schema(format!(
+                    "foreign key arity mismatch in table `{}`",
+                    self.name
+                )));
+            }
+            for c in &fk.columns {
+                if self.column(c).is_none() {
+                    return Err(Error::Schema(format!(
+                        "foreign key column `{c}` missing in table `{}`",
+                        self.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TableSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.data_type)?;
+            if self.is_pk_column(&c.name) {
+                write!(f, " PK")?;
+            }
+            if let Some(fk) = self.fk_on_column(&c.name) {
+                write!(f, " -> {}", fk.referenced_table)?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn papers() -> TableSchema {
+        TableSchema::new(
+            "Papers",
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("conference_id", DataType::Int),
+                Column::new("title", DataType::Text),
+                Column::new("year", DataType::Int),
+            ],
+        )
+        .with_primary_key(&["id"])
+        .with_foreign_key(ForeignKey::single("conference_id", "Conferences", "id"))
+    }
+
+    #[test]
+    fn column_lookup() {
+        let s = papers();
+        assert_eq!(s.column_index("title"), Some(2));
+        assert!(s.column("nope").is_none());
+        assert_eq!(s.arity(), 4);
+    }
+
+    #[test]
+    fn key_predicates() {
+        let s = papers();
+        assert!(s.is_pk_column("id"));
+        assert!(!s.is_pk_column("title"));
+        assert!(s.is_fk_column("conference_id"));
+        assert_eq!(
+            s.fk_on_column("conference_id").unwrap().referenced_table,
+            "Conferences"
+        );
+    }
+
+    #[test]
+    fn validate_catches_duplicate_columns() {
+        let s = TableSchema::new(
+            "T",
+            vec![
+                Column::new("a", DataType::Int),
+                Column::new("a", DataType::Int),
+            ],
+        );
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_nullable_pk() {
+        let s = TableSchema::new("T", vec![Column::nullable("a", DataType::Int)])
+            .with_primary_key(&["a"]);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_missing_fk_column() {
+        let s = TableSchema::new("T", vec![Column::new("a", DataType::Int)])
+            .with_foreign_key(ForeignKey::single("b", "U", "id"));
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn pk_indices() {
+        let s = papers();
+        assert_eq!(s.primary_key_indices().unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn display_shows_keys() {
+        let out = papers().to_string();
+        assert!(out.contains("id INT PK"));
+        assert!(out.contains("conference_id INT -> Conferences"));
+    }
+}

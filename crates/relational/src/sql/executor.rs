@@ -1,0 +1,1020 @@
+//! SQL execution: name resolution, predicate pushdown, greedy hash-join
+//! planning, grouping, and projection.
+//!
+//! The planner mirrors what a simple RDBMS does for the paper's workloads:
+//! single-table predicates are pushed below joins, equi-join conjuncts become
+//! hash joins chosen greedily from the smallest filtered relation outward,
+//! and anything else is applied as a residual filter.
+
+use super::ast::*;
+use crate::algebra::{AggSpec, Relation, SortKey};
+use crate::database::Database;
+use crate::expr::Expr;
+use crate::schema::{Column, ForeignKey, TableSchema};
+use crate::value::Value;
+use crate::{Error, Result};
+
+/// Executes a SQL string against the database.
+///
+/// `SELECT` returns the result relation; DDL/DML return an empty relation.
+pub fn execute(db: &mut Database, sql: &str) -> Result<Relation> {
+    match super::parser::parse_statement(sql)? {
+        Statement::Select(q) => execute_query(db, &q),
+        Statement::Explain(q) => {
+            let lines = explain_query(db, &q)?;
+            Ok(Relation::new(
+                vec![crate::algebra::RelColumn::bare(
+                    "plan",
+                    crate::value::DataType::Text,
+                )],
+                lines.into_iter().map(|l| vec![Value::Text(l)]).collect(),
+            ))
+        }
+        Statement::CreateTable {
+            name,
+            columns,
+            primary_key,
+            foreign_keys,
+        } => {
+            let cols = columns
+                .into_iter()
+                .map(|c| Column {
+                    name: c.name,
+                    data_type: c.data_type,
+                    nullable: c.nullable,
+                })
+                .collect();
+            let mut schema = TableSchema::new(name, cols);
+            schema.primary_key = primary_key;
+            // SQL semantics: PRIMARY KEY implies NOT NULL.
+            for pk in schema.primary_key.clone() {
+                if let Some(i) = schema.column_index(&pk) {
+                    schema.columns[i].nullable = false;
+                }
+            }
+            schema.foreign_keys = foreign_keys
+                .into_iter()
+                .map(|(cols, table, ref_cols)| ForeignKey {
+                    columns: cols,
+                    referenced_table: table,
+                    referenced_columns: ref_cols,
+                })
+                .collect();
+            db.create_table(schema)?;
+            Ok(Relation::default())
+        }
+        Statement::Insert { table, rows } => {
+            for row in rows {
+                db.insert(&table, row)?;
+            }
+            Ok(Relation::default())
+        }
+        Statement::Delete {
+            table,
+            where_clause,
+        } => {
+            let pred = resolve_single_table(db, &table, where_clause.as_ref())?;
+            db.delete_where(&table, &pred)?;
+            Ok(Relation::default())
+        }
+        Statement::Update {
+            table,
+            sets,
+            where_clause,
+        } => {
+            let pred = resolve_single_table(db, &table, where_clause.as_ref())?;
+            db.update_where(&table, &pred, &sets)?;
+            Ok(Relation::default())
+        }
+    }
+}
+
+/// Resolves an optional WHERE clause against a single table's columns;
+/// `None` becomes an always-true predicate.
+fn resolve_single_table(
+    db: &Database,
+    table: &str,
+    where_clause: Option<&SqlExpr>,
+) -> Result<Expr> {
+    let columns = db
+        .table(table)?
+        .schema()
+        .columns
+        .iter()
+        .map(|c| crate::algebra::RelColumn::qualified(table, &c.name, c.data_type))
+        .collect();
+    let shape = Relation::new(columns, Vec::new());
+    match where_clause {
+        Some(w) => resolve_row_expr(w, &shape),
+        None => Ok(Expr::Literal(Value::Bool(true))),
+    }
+}
+
+/// Executes a parsed SELECT query.
+pub fn execute_query(db: &Database, q: &Query) -> Result<Relation> {
+    execute_query_traced(db, q, &mut None)
+}
+
+/// Renders the plan the greedy optimizer chooses for a query: pushed-down
+/// filters with their selectivity, the join order with intermediate sizes,
+/// residual predicates, and the tail. Backing for the SQL `EXPLAIN`
+/// statement.
+pub fn explain_query(db: &Database, q: &Query) -> Result<Vec<String>> {
+    let mut trace = Some(Vec::new());
+    execute_query_traced(db, q, &mut trace)?;
+    Ok(trace.expect("trace was installed"))
+}
+
+fn execute_query_traced(
+    db: &Database,
+    q: &Query,
+    trace: &mut Option<Vec<String>>,
+) -> Result<Relation> {
+    macro_rules! log {
+        ($($arg:tt)*) => {
+            if let Some(t) = trace.as_mut() {
+                t.push(format!($($arg)*));
+            }
+        };
+    }
+    // 1. Load base relations (FROM + JOIN tables).
+    let mut refs: Vec<&TableRef> = q.from.iter().collect();
+    refs.extend(q.joins.iter().map(|j| &j.table));
+    let mut aliases: Vec<String> = Vec::new();
+    for r in &refs {
+        let alias = r.effective_alias().to_string();
+        if aliases.contains(&alias) {
+            return Err(Error::Parse(format!("duplicate table alias `{alias}`")));
+        }
+        aliases.push(alias);
+    }
+    let mut relations: Vec<Option<Relation>> = refs
+        .iter()
+        .map(|r| {
+            db.table(&r.table)
+                .map(|t| Some(Relation::from_table(t, r.effective_alias())))
+        })
+        .collect::<Result<_>>()?;
+
+    // 2. Gather conjuncts from WHERE and JOIN..ON.
+    let mut conjuncts: Vec<&SqlExpr> = Vec::new();
+    if let Some(w) = &q.where_clause {
+        conjuncts.extend(w.conjuncts());
+    }
+    for j in &q.joins {
+        conjuncts.extend(j.on.conjuncts());
+    }
+
+    // Classify each conjunct by the set of relations it touches.
+    let owner_of = |name: &str| -> Option<usize> {
+        if let Some((qual, _)) = name.split_once('.') {
+            aliases.iter().position(|a| a == qual)
+        } else {
+            // Unqualified: owner is the unique relation containing the column.
+            let mut found = None;
+            for (i, r) in refs.iter().enumerate() {
+                if let Ok(t) = db.table(&r.table) {
+                    if t.schema().column_index(name).is_some() {
+                        if found.is_some() {
+                            return None; // ambiguous; resolve later, treat as residual
+                        }
+                        found = Some(i);
+                    }
+                }
+            }
+            found
+        }
+    };
+
+    let mut single: Vec<Vec<&SqlExpr>> = vec![Vec::new(); refs.len()];
+    // (rel_a, name_a, rel_b, name_b)
+    let mut edges: Vec<(usize, String, usize, String)> = Vec::new();
+    let mut residual: Vec<&SqlExpr> = Vec::new();
+    for c in conjuncts {
+        let names = c.referenced_names();
+        let owners: Vec<Option<usize>> = names.iter().map(|n| owner_of(n)).collect();
+        if owners.iter().any(Option::is_none) {
+            residual.push(c);
+            continue;
+        }
+        let mut distinct: Vec<usize> = owners.iter().map(|o| o.unwrap()).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        match distinct.len() {
+            0 => residual.push(c), // constant predicate
+            1 => single[distinct[0]].push(c),
+            2 => {
+                // Equi-join edge? Must be `col = col` across two relations.
+                if let SqlExpr::Cmp(crate::expr::CmpOp::Eq, a, b) = c {
+                    if let (SqlExpr::Column(na), SqlExpr::Column(nb)) = (a.as_ref(), b.as_ref()) {
+                        let oa = owner_of(na).unwrap();
+                        let ob = owner_of(nb).unwrap();
+                        if oa != ob {
+                            edges.push((oa, na.clone(), ob, nb.clone()));
+                            continue;
+                        }
+                    }
+                }
+                residual.push(c);
+            }
+            _ => residual.push(c),
+        }
+    }
+
+    // 3. Push down single-table predicates.
+    for (i, preds) in single.iter().enumerate() {
+        if preds.is_empty() {
+            if let Some(rel) = relations[i].as_ref() {
+                log!("scan {} ({} rows)", aliases[i], rel.len());
+            }
+            continue;
+        }
+        let rel = relations[i].take().expect("present");
+        let before = rel.len();
+        let mut combined: Option<Expr> = None;
+        for p in preds {
+            let e = resolve_row_expr(p, &rel)?;
+            combined = Some(match combined {
+                Some(c) => c.and(e),
+                None => e,
+            });
+        }
+        let filtered = rel.select(&combined.expect("non-empty"))?;
+        log!(
+            "scan {} ({} rows) pushdown [{}] -> {} rows",
+            aliases[i],
+            before,
+            preds
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(" AND "),
+            filtered.len()
+        );
+        relations[i] = Some(filtered);
+    }
+
+    // 4. Greedy join: start from the smallest relation; repeatedly join the
+    //    connected relation via hash join, else cross the smallest remaining.
+    let mut remaining: Vec<usize> = (0..refs.len()).collect();
+    let start = *remaining
+        .iter()
+        .min_by_key(|&&i| relations[i].as_ref().map(Relation::len).unwrap_or(0))
+        .expect("at least one table");
+    remaining.retain(|&i| i != start);
+    let mut joined_ids = vec![start];
+    let mut current = relations[start].take().expect("present");
+    let mut used_edges = vec![false; edges.len()];
+    log!("start from smallest relation {}", aliases[start]);
+
+    while !remaining.is_empty() {
+        // Find an edge between the joined set and a remaining relation.
+        let mut next: Option<(usize, usize)> = None; // (edge idx, other rel)
+        for (ei, (a, _, b, _)) in edges.iter().enumerate() {
+            if used_edges[ei] {
+                continue;
+            }
+            let a_in = joined_ids.contains(a);
+            let b_in = joined_ids.contains(b);
+            if a_in && remaining.contains(b) {
+                next = Some((ei, *b));
+                break;
+            }
+            if b_in && remaining.contains(a) {
+                next = Some((ei, *a));
+                break;
+            }
+        }
+        match next {
+            Some((ei, other)) => {
+                used_edges[ei] = true;
+                let (ea, na, _eb, nb) = {
+                    let (a, na, b, nb) = &edges[ei];
+                    (*a, na.clone(), *b, nb.clone())
+                };
+                let other_rel = relations[other].take().expect("present");
+                // Which side name belongs to the current (joined) relation?
+                let (cur_name, other_name) = if joined_ids.contains(&ea) {
+                    (na, nb)
+                } else {
+                    (nb, na)
+                };
+                let lcol = current.resolve(&cur_name)?;
+                let rcol = other_rel.resolve(&other_name)?;
+                let right_rows = other_rel.len();
+                current = current.hash_join(&other_rel, lcol, rcol)?;
+                log!(
+                    "hash join {} = {} with {} ({} rows) -> {} rows",
+                    cur_name,
+                    other_name,
+                    aliases[other],
+                    right_rows,
+                    current.len()
+                );
+                joined_ids.push(other);
+                remaining.retain(|&i| i != other);
+            }
+            None => {
+                // Disconnected: cross product with the smallest remaining.
+                let other = *remaining
+                    .iter()
+                    .min_by_key(|&&i| relations[i].as_ref().map(Relation::len).unwrap_or(0))
+                    .expect("non-empty");
+                let other_rel = relations[other].take().expect("present");
+                let right_rows = other_rel.len();
+                current = current.cross(&other_rel);
+                log!(
+                    "cross product with {} ({} rows) -> {} rows",
+                    aliases[other],
+                    right_rows,
+                    current.len()
+                );
+                joined_ids.push(other);
+                remaining.retain(|&i| i != other);
+            }
+        }
+        // Apply any edges now internal to the joined set (multi-edge cycles).
+        for (ei, (a, na, b, nb)) in edges.iter().enumerate() {
+            if used_edges[ei] {
+                continue;
+            }
+            if joined_ids.contains(a) && joined_ids.contains(b) {
+                used_edges[ei] = true;
+                let la = current.resolve(na)?;
+                let lb = current.resolve(nb)?;
+                current = current.select(&Expr::col(la).eq(Expr::col(lb)))?;
+                log!("cycle filter {na} = {nb} -> {} rows", current.len());
+            }
+        }
+    }
+
+    // 5. Residual predicates.
+    for p in residual {
+        let e = resolve_row_expr(p, &current)?;
+        current = current.select(&e)?;
+        log!("residual filter [{p}] -> {} rows", current.len());
+    }
+
+    // 6. Grouping / aggregation / projection tail.
+    if !q.group_by.is_empty() {
+        log!("group by {} key(s)", q.group_by.len());
+    }
+    let out = finish_query(q, current)?;
+    log!("output: {} rows x {} columns", out.len(), out.columns.len());
+    Ok(out)
+}
+
+/// The planner-free tail of query execution: grouping, HAVING, ORDER BY,
+/// projection, DISTINCT, LIMIT. Shared with the naive reference evaluator
+/// ([`super::naive`]).
+pub(crate) fn finish_query(q: &Query, current: Relation) -> Result<Relation> {
+    let has_aggs = q.items.iter().any(|it| match it {
+        SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+        _ => false,
+    }) || q.having.as_ref().is_some_and(|h| h.contains_aggregate())
+        || q.order_by.iter().any(|o| o.expr.contains_aggregate());
+
+    if !q.group_by.is_empty() || has_aggs {
+        execute_grouped(q, current)
+    } else {
+        execute_plain(q, current)
+    }
+}
+
+/// Resolves a row-context expression (no aggregates) against a relation.
+pub(crate) fn resolve_row_expr(e: &SqlExpr, rel: &Relation) -> Result<Expr> {
+    match e {
+        SqlExpr::Column(name) => Ok(Expr::Column(rel.resolve(name)?)),
+        SqlExpr::Literal(v) => Ok(Expr::Literal(v.clone())),
+        SqlExpr::Aggregate { .. } => Err(Error::Eval(
+            "aggregate not allowed in row context (WHERE/ON)".into(),
+        )),
+        SqlExpr::Cmp(op, a, b) => Ok(Expr::Cmp(
+            *op,
+            Box::new(resolve_row_expr(a, rel)?),
+            Box::new(resolve_row_expr(b, rel)?),
+        )),
+        SqlExpr::Like(a, p) => Ok(Expr::Like(Box::new(resolve_row_expr(a, rel)?), p.clone())),
+        SqlExpr::NotLike(a, p) => Ok(Expr::Not(Box::new(Expr::Like(
+            Box::new(resolve_row_expr(a, rel)?),
+            p.clone(),
+        )))),
+        SqlExpr::InList(a, l) => Ok(Expr::InList(
+            Box::new(resolve_row_expr(a, rel)?),
+            l.clone(),
+        )),
+        SqlExpr::IsNull(a) => Ok(Expr::IsNull(Box::new(resolve_row_expr(a, rel)?))),
+        SqlExpr::IsNotNull(a) => Ok(Expr::Not(Box::new(Expr::IsNull(Box::new(
+            resolve_row_expr(a, rel)?,
+        ))))),
+        SqlExpr::And(a, b) => Ok(resolve_row_expr(a, rel)?.and(resolve_row_expr(b, rel)?)),
+        SqlExpr::Or(a, b) => Ok(resolve_row_expr(a, rel)?.or(resolve_row_expr(b, rel)?)),
+        SqlExpr::Not(a) => Ok(resolve_row_expr(a, rel)?.not()),
+    }
+}
+
+/// Executes the tail of a non-grouped query: ORDER BY, projection, DISTINCT,
+/// LIMIT.
+fn execute_plain(q: &Query, input: Relation) -> Result<Relation> {
+    // Expand the select list into (output name, input column or literal).
+    let mut out_cols: Vec<crate::algebra::RelColumn> = Vec::new();
+    let mut picks: Vec<Pick> = Vec::new();
+    for item in &q.items {
+        match item {
+            SelectItem::Wildcard => {
+                for (i, c) in input.columns.iter().enumerate() {
+                    out_cols.push(c.clone());
+                    picks.push(Pick::Col(i));
+                }
+            }
+            SelectItem::QualifiedWildcard(qual) => {
+                let mut any = false;
+                for (i, c) in input.columns.iter().enumerate() {
+                    if c.qualifier.as_deref() == Some(qual.as_str()) {
+                        out_cols.push(c.clone());
+                        picks.push(Pick::Col(i));
+                        any = true;
+                    }
+                }
+                if !any {
+                    return Err(Error::UnknownTable(qual.clone()));
+                }
+            }
+            SelectItem::Expr { expr, alias } => match expr {
+                SqlExpr::Column(name) => {
+                    let i = input.resolve(name)?;
+                    let mut c = input.columns[i].clone();
+                    if let Some(a) = alias {
+                        c = crate::algebra::RelColumn::bare(a.clone(), c.data_type);
+                    }
+                    out_cols.push(c);
+                    picks.push(Pick::Col(i));
+                }
+                SqlExpr::Literal(v) => {
+                    let ty = v.data_type().unwrap_or(crate::value::DataType::Int);
+                    out_cols.push(crate::algebra::RelColumn::bare(
+                        alias.clone().unwrap_or_else(|| expr.to_string()),
+                        ty,
+                    ));
+                    picks.push(Pick::Lit(v.clone()));
+                }
+                other => {
+                    return Err(Error::Eval(format!(
+                        "unsupported select expression `{other}` outside GROUP BY"
+                    )))
+                }
+            },
+        }
+    }
+
+    // ORDER BY on the input relation (names may also match output aliases).
+    let mut rel = input;
+    if !q.order_by.is_empty() {
+        let keys = q
+            .order_by
+            .iter()
+            .map(|o| {
+                let col = match &o.expr {
+                    SqlExpr::Column(name) => {
+                        // Prefer an output alias if one matches.
+                        let alias_hit = out_cols
+                            .iter()
+                            .position(|c| c.matches_name(name))
+                            .and_then(|p| match picks[p] {
+                                Pick::Col(i) => Some(i),
+                                Pick::Lit(_) => None,
+                            });
+                        match alias_hit {
+                            Some(i) => i,
+                            None => rel.resolve(name)?,
+                        }
+                    }
+                    other => {
+                        return Err(Error::Eval(format!(
+                            "unsupported ORDER BY expression `{other}`"
+                        )))
+                    }
+                };
+                Ok(SortKey {
+                    column: col,
+                    descending: o.descending,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        rel = rel.sort_by(&keys);
+    }
+
+    // Projection.
+    let rows = rel
+        .rows
+        .iter()
+        .map(|r| {
+            picks
+                .iter()
+                .map(|p| match p {
+                    Pick::Col(i) => r[*i].clone(),
+                    Pick::Lit(v) => v.clone(),
+                })
+                .collect()
+        })
+        .collect();
+    let mut out = Relation::new(out_cols, rows);
+    if q.distinct {
+        out = out.distinct();
+    }
+    if q.offset > 0 {
+        out = out.offset(q.offset);
+    }
+    if let Some(n) = q.limit {
+        out = out.limit(n);
+    }
+    Ok(out)
+}
+
+enum Pick {
+    Col(usize),
+    Lit(Value),
+}
+
+/// Executes a grouped query: GROUP BY + aggregates + HAVING + ORDER BY +
+/// projection.
+fn execute_grouped(q: &Query, input: Relation) -> Result<Relation> {
+    // Resolve group keys in row context.
+    let group_cols: Vec<usize> = q
+        .group_by
+        .iter()
+        .map(|g| match g {
+            SqlExpr::Column(name) => input.resolve(name),
+            other => Err(Error::Eval(format!(
+                "unsupported GROUP BY expression `{other}`"
+            ))),
+        })
+        .collect::<Result<_>>()?;
+
+    // Collect all aggregates appearing anywhere, dedup by display string.
+    let mut agg_exprs: Vec<&SqlExpr> = Vec::new();
+    let mut all_sources: Vec<&SqlExpr> = Vec::new();
+    for item in &q.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            all_sources.push(expr);
+        }
+    }
+    if let Some(h) = &q.having {
+        all_sources.push(h);
+    }
+    for o in &q.order_by {
+        all_sources.push(&o.expr);
+    }
+    for s in all_sources {
+        collect_aggregates(s, &mut agg_exprs);
+    }
+    let mut agg_keys: Vec<String> = Vec::new();
+    let mut specs: Vec<AggSpec> = Vec::new();
+    for a in &agg_exprs {
+        let key = a.to_string();
+        if agg_keys.contains(&key) {
+            continue;
+        }
+        if let SqlExpr::Aggregate { func, input: arg } = a {
+            let input_col = match arg {
+                Some(e) => match e.as_ref() {
+                    SqlExpr::Column(name) => Some(input.resolve(name)?),
+                    other => {
+                        return Err(Error::Eval(format!(
+                            "unsupported aggregate input `{other}`"
+                        )))
+                    }
+                },
+                None => None,
+            };
+            specs.push(AggSpec::new(*func, input_col, key.clone()));
+            agg_keys.push(key);
+        }
+    }
+
+    let grouped = input.group_by(&group_cols, &specs)?;
+    // Grouped columns: group keys (original names) then one per agg keyed by
+    // its display string.
+    let n_keys = group_cols.len();
+    let grouped_cols = grouped.columns.clone();
+
+    // Resolver in group context.
+    let resolve_group = |e: &SqlExpr| -> Result<Expr> {
+        resolve_group_expr(e, q, &grouped_cols, n_keys, &agg_keys)
+    };
+
+    // HAVING.
+    let mut rel = grouped;
+    if let Some(h) = &q.having {
+        let e = resolve_group(h)?;
+        rel = rel.select(&e)?;
+    }
+
+    // Projection picks.
+    let mut out_cols: Vec<crate::algebra::RelColumn> = Vec::new();
+    let mut picks: Vec<usize> = Vec::new();
+    for item in &q.items {
+        match item {
+            SelectItem::Expr { expr, alias } => {
+                let e = resolve_group(expr)?;
+                let idx = match e {
+                    Expr::Column(i) => i,
+                    _ => {
+                        return Err(Error::Eval(format!(
+                            "unsupported grouped select expression `{expr}`"
+                        )))
+                    }
+                };
+                let mut c = rel.columns[idx].clone();
+                if let Some(a) = alias {
+                    c = crate::algebra::RelColumn::bare(a.clone(), c.data_type);
+                }
+                out_cols.push(c);
+                picks.push(idx);
+            }
+            SelectItem::Wildcard => {
+                for (i, c) in rel.columns.iter().enumerate().take(n_keys) {
+                    out_cols.push(c.clone());
+                    picks.push(i);
+                }
+            }
+            SelectItem::QualifiedWildcard(qual) => {
+                for (i, c) in rel.columns.iter().enumerate().take(n_keys) {
+                    if c.qualifier.as_deref() == Some(qual.as_str()) {
+                        out_cols.push(c.clone());
+                        picks.push(i);
+                    }
+                }
+            }
+        }
+    }
+
+    // ORDER BY in group context (aliases allowed).
+    if !q.order_by.is_empty() {
+        let keys = q
+            .order_by
+            .iter()
+            .map(|o| {
+                let col = if let SqlExpr::Column(name) = &o.expr {
+                    let alias_hit = out_cols
+                        .iter()
+                        .position(|c| c.matches_name(name))
+                        .map(|p| picks[p]);
+                    match alias_hit {
+                        Some(i) => i,
+                        None => match resolve_group(&o.expr)? {
+                            Expr::Column(i) => i,
+                            _ => return Err(Error::Eval("bad ORDER BY".into())),
+                        },
+                    }
+                } else {
+                    match resolve_group(&o.expr)? {
+                        Expr::Column(i) => i,
+                        _ => {
+                            return Err(Error::Eval(format!(
+                                "unsupported ORDER BY expression `{}`",
+                                o.expr
+                            )))
+                        }
+                    }
+                };
+                Ok(SortKey {
+                    column: col,
+                    descending: o.descending,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        rel = rel.sort_by(&keys);
+    }
+
+    let mut out = rel.project(&picks)?;
+    out.columns = out_cols;
+    if q.distinct {
+        out = out.distinct();
+    }
+    if q.offset > 0 {
+        out = out.offset(q.offset);
+    }
+    if let Some(n) = q.limit {
+        out = out.limit(n);
+    }
+    Ok(out)
+}
+
+fn collect_aggregates<'a>(e: &'a SqlExpr, out: &mut Vec<&'a SqlExpr>) {
+    match e {
+        SqlExpr::Aggregate { .. } => out.push(e),
+        SqlExpr::Column(_) | SqlExpr::Literal(_) => {}
+        SqlExpr::Cmp(_, a, b) | SqlExpr::And(a, b) | SqlExpr::Or(a, b) => {
+            collect_aggregates(a, out);
+            collect_aggregates(b, out);
+        }
+        SqlExpr::Like(a, _)
+        | SqlExpr::NotLike(a, _)
+        | SqlExpr::InList(a, _)
+        | SqlExpr::IsNull(a)
+        | SqlExpr::IsNotNull(a)
+        | SqlExpr::Not(a) => collect_aggregates(a, out),
+    }
+}
+
+/// Resolves an expression in group context: aggregates map to their output
+/// columns; grouping expressions map to key columns.
+fn resolve_group_expr(
+    e: &SqlExpr,
+    q: &Query,
+    grouped: &[crate::algebra::RelColumn],
+    n_keys: usize,
+    agg_keys: &[String],
+) -> Result<Expr> {
+    match e {
+        SqlExpr::Aggregate { .. } => {
+            let key = e.to_string();
+            let pos = agg_keys
+                .iter()
+                .position(|k| *k == key)
+                .ok_or_else(|| Error::Eval(format!("unplanned aggregate `{key}`")))?;
+            Ok(Expr::Column(n_keys + pos))
+        }
+        SqlExpr::Column(name) => {
+            // Must be one of the grouping keys.
+            for (i, g) in q.group_by.iter().enumerate() {
+                if let SqlExpr::Column(gname) = g {
+                    if gname == name || grouped[i].matches_name(name) {
+                        return Ok(Expr::Column(i));
+                    }
+                }
+            }
+            Err(Error::Eval(format!(
+                "column `{name}` must appear in GROUP BY or an aggregate"
+            )))
+        }
+        SqlExpr::Literal(v) => Ok(Expr::Literal(v.clone())),
+        SqlExpr::Cmp(op, a, b) => Ok(Expr::Cmp(
+            *op,
+            Box::new(resolve_group_expr(a, q, grouped, n_keys, agg_keys)?),
+            Box::new(resolve_group_expr(b, q, grouped, n_keys, agg_keys)?),
+        )),
+        SqlExpr::Like(a, p) => Ok(Expr::Like(
+            Box::new(resolve_group_expr(a, q, grouped, n_keys, agg_keys)?),
+            p.clone(),
+        )),
+        SqlExpr::NotLike(a, p) => Ok(Expr::Not(Box::new(Expr::Like(
+            Box::new(resolve_group_expr(a, q, grouped, n_keys, agg_keys)?),
+            p.clone(),
+        )))),
+        SqlExpr::InList(a, l) => Ok(Expr::InList(
+            Box::new(resolve_group_expr(a, q, grouped, n_keys, agg_keys)?),
+            l.clone(),
+        )),
+        SqlExpr::IsNull(a) => Ok(Expr::IsNull(Box::new(resolve_group_expr(
+            a, q, grouped, n_keys, agg_keys,
+        )?))),
+        SqlExpr::IsNotNull(a) => Ok(Expr::Not(Box::new(Expr::IsNull(Box::new(
+            resolve_group_expr(a, q, grouped, n_keys, agg_keys)?,
+        ))))),
+        SqlExpr::And(a, b) => Ok(resolve_group_expr(a, q, grouped, n_keys, agg_keys)?
+            .and(resolve_group_expr(b, q, grouped, n_keys, agg_keys)?)),
+        SqlExpr::Or(a, b) => Ok(resolve_group_expr(a, q, grouped, n_keys, agg_keys)?
+            .or(resolve_group_expr(b, q, grouped, n_keys, agg_keys)?)),
+        SqlExpr::Not(a) => Ok(resolve_group_expr(a, q, grouped, n_keys, agg_keys)?.not()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        execute(
+            &mut db,
+            "CREATE TABLE Conferences (id INT PRIMARY KEY, acronym TEXT NOT NULL)",
+        )
+        .unwrap();
+        execute(
+            &mut db,
+            "CREATE TABLE Papers (id INT PRIMARY KEY, conference_id INT REFERENCES Conferences(id), \
+             title TEXT NOT NULL, year INT NOT NULL)",
+        )
+        .unwrap();
+        execute(
+            &mut db,
+            "CREATE TABLE Authors (id INT PRIMARY KEY, name TEXT NOT NULL)",
+        )
+        .unwrap();
+        execute(
+            &mut db,
+            "CREATE TABLE Paper_Authors (paper_id INT, author_id INT, \
+             PRIMARY KEY (paper_id, author_id), \
+             FOREIGN KEY (paper_id) REFERENCES Papers (id), \
+             FOREIGN KEY (author_id) REFERENCES Authors (id))",
+        )
+        .unwrap();
+        execute(
+            &mut db,
+            "INSERT INTO Conferences VALUES (1, 'SIGMOD'), (2, 'KDD')",
+        )
+        .unwrap();
+        execute(
+            &mut db,
+            "INSERT INTO Papers VALUES \
+             (10, 1, 'Making database systems usable', 2007), \
+             (11, 1, 'SkewTune', 2012), \
+             (12, 2, 'Deep stuff', 2014)",
+        )
+        .unwrap();
+        execute(
+            &mut db,
+            "INSERT INTO Authors VALUES (100, 'Jagadish'), (101, 'Nandi'), (102, 'Kwon')",
+        )
+        .unwrap();
+        execute(
+            &mut db,
+            "INSERT INTO Paper_Authors VALUES (10, 100), (10, 101), (11, 102), (12, 101)",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let mut d = db();
+        let r = execute(&mut d, "SELECT title FROM Papers WHERE year >= 2012").unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.columns.len(), 1);
+    }
+
+    #[test]
+    fn join_on_syntax() {
+        let mut d = db();
+        let r = execute(
+            &mut d,
+            "SELECT p.title FROM Papers p JOIN Conferences c ON p.conference_id = c.id \
+             WHERE c.acronym = 'SIGMOD' ORDER BY p.title",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows[0][0], "Making database systems usable".into());
+    }
+
+    #[test]
+    fn comma_join_where() {
+        let mut d = db();
+        let r = execute(
+            &mut d,
+            "SELECT a.name FROM Papers p, Paper_Authors pa, Authors a \
+             WHERE p.id = pa.paper_id AND pa.author_id = a.id AND p.id = 10 \
+             ORDER BY a.name",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows[0][0], "Jagadish".into());
+    }
+
+    #[test]
+    fn duplication_blowup_visible() {
+        // The motivating example: joining Papers with Authors duplicates
+        // paper rows once per author.
+        let mut d = db();
+        let r = execute(
+            &mut d,
+            "SELECT p.title, a.name FROM Papers p, Paper_Authors pa, Authors a \
+             WHERE p.id = pa.paper_id AND pa.author_id = a.id",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 4); // 3 papers -> 4 join rows
+    }
+
+    #[test]
+    fn group_by_count_order() {
+        let mut d = db();
+        let r = execute(
+            &mut d,
+            "SELECT a.name, COUNT(*) AS n FROM Authors a, Paper_Authors pa \
+             WHERE a.id = pa.author_id GROUP BY a.name ORDER BY n DESC, a.name LIMIT 2",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows[0][0], "Nandi".into());
+        assert_eq!(r.rows[0][1], Value::Int(2));
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let mut d = db();
+        let r = execute(
+            &mut d,
+            "SELECT a.name FROM Authors a, Paper_Authors pa WHERE a.id = pa.author_id \
+             GROUP BY a.name HAVING COUNT(*) > 1",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows[0][0], "Nandi".into());
+    }
+
+    #[test]
+    fn global_aggregate() {
+        let mut d = db();
+        let r = execute(&mut d, "SELECT COUNT(*) FROM Papers").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(3));
+        let r = execute(&mut d, "SELECT MIN(year), MAX(year), AVG(year) FROM Papers").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(2007));
+        assert_eq!(r.rows[0][1], Value::Int(2014));
+        assert_eq!(r.rows[0][2], Value::Float((2007 + 2012 + 2014) as f64 / 3.0));
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let mut d = db();
+        let r = execute(
+            &mut d,
+            "SELECT DISTINCT c.acronym FROM Conferences c, Papers p WHERE p.conference_id = c.id",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn like_filter() {
+        let mut d = db();
+        let r = execute(
+            &mut d,
+            "SELECT title FROM Papers WHERE title LIKE '%usable%'",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn wildcard_and_qualified_wildcard() {
+        let mut d = db();
+        let r = execute(&mut d, "SELECT * FROM Papers").unwrap();
+        assert_eq!(r.columns.len(), 4);
+        let r = execute(
+            &mut d,
+            "SELECT c.* FROM Papers p, Conferences c WHERE p.conference_id = c.id",
+        )
+        .unwrap();
+        assert_eq!(r.columns.len(), 2);
+    }
+
+    #[test]
+    fn error_on_unknown_column_or_table() {
+        let mut d = db();
+        assert!(execute(&mut d, "SELECT nope FROM Papers").is_err());
+        assert!(execute(&mut d, "SELECT * FROM Nope").is_err());
+    }
+
+    #[test]
+    fn ambiguous_column_rejected() {
+        let mut d = db();
+        assert!(execute(
+            &mut d,
+            "SELECT id FROM Papers p, Authors a WHERE p.id = a.id"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn limit_offset_paginate() {
+        let mut d = db();
+        let page1 = execute(&mut d, "SELECT id FROM Papers ORDER BY id LIMIT 2").unwrap();
+        let page2 = execute(
+            &mut d,
+            "SELECT id FROM Papers ORDER BY id LIMIT 2 OFFSET 2",
+        )
+        .unwrap();
+        assert_eq!(page1.len(), 2);
+        assert_eq!(page2.len(), 1);
+        let all = execute(&mut d, "SELECT id FROM Papers ORDER BY id").unwrap();
+        let mut paged = page1.rows.clone();
+        paged.extend(page2.rows.clone());
+        assert_eq!(all.rows, paged);
+        // Offset past the end yields nothing.
+        let none = execute(&mut d, "SELECT id FROM Papers ORDER BY id OFFSET 99").unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn offset_works_with_group_by() {
+        let mut d = db();
+        let r = execute(
+            &mut d,
+            "SELECT a.name, COUNT(*) AS n FROM Authors a, Paper_Authors pa \
+             WHERE a.id = pa.author_id GROUP BY a.name ORDER BY n DESC, a.name \
+             LIMIT 1 OFFSET 1",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows[0][1], Value::Int(1));
+    }
+
+    #[test]
+    fn select_data_types_preserved() {
+        let mut d = db();
+        let r = execute(&mut d, "SELECT year FROM Papers LIMIT 1").unwrap();
+        assert_eq!(r.columns[0].data_type, DataType::Int);
+    }
+}

@@ -1,0 +1,233 @@
+//! SQL tokenizer.
+
+use crate::{Error, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are recognized case-insensitively by
+    /// the parser; the original spelling is preserved here).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal with `''` escapes resolved.
+    Str(String),
+    /// Punctuation / operator symbol.
+    Symbol(Symbol),
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `;`
+    Semi,
+}
+
+impl Token {
+    /// True when the token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes `input` into a vector of tokens.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                out.push(Token::Symbol(Symbol::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::Symbol(Symbol::RParen));
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Symbol(Symbol::Comma));
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Symbol(Symbol::Dot));
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Symbol(Symbol::Star));
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Symbol(Symbol::Semi));
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Symbol(Symbol::Eq));
+                i += 1;
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Symbol(Symbol::Ne));
+                    i += 2;
+                } else {
+                    return Err(Error::Parse("unexpected `!`".into()));
+                }
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Symbol(Symbol::Le));
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    out.push(Token::Symbol(Symbol::Ne));
+                    i += 2;
+                } else {
+                    out.push(Token::Symbol(Symbol::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Symbol(Symbol::Ge));
+                    i += 2;
+                } else {
+                    out.push(Token::Symbol(Symbol::Gt));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                        None => return Err(Error::Parse("unterminated string literal".into())),
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < chars.len()
+                    && chars[i] == '.'
+                    && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    out.push(Token::Float(text.parse().map_err(|_| {
+                        Error::Parse(format!("bad float literal `{text}`"))
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| {
+                        Error::Parse(format!("bad int literal `{text}`"))
+                    })?));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            other => return Err(Error::Parse(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_select() {
+        let toks = tokenize("SELECT a.x, COUNT(*) FROM t a WHERE y >= 10;").unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert!(toks.contains(&Token::Symbol(Symbol::Star)));
+        assert!(toks.contains(&Token::Symbol(Symbol::Ge)));
+        assert!(toks.contains(&Token::Int(10)));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = tokenize("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn float_vs_qualified_name() {
+        assert_eq!(tokenize("1.5").unwrap(), vec![Token::Float(1.5)]);
+        let toks = tokenize("t.c").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("t".into()),
+                Token::Symbol(Symbol::Dot),
+                Token::Ident("c".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn neq_forms() {
+        assert_eq!(tokenize("<>").unwrap(), vec![Token::Symbol(Symbol::Ne)]);
+        assert_eq!(tokenize("!=").unwrap(), vec![Token::Symbol(Symbol::Ne)]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn bad_char_errors() {
+        assert!(tokenize("select @").is_err());
+    }
+}

@@ -1,0 +1,20 @@
+//! A small SQL dialect: lexer, AST, recursive-descent parser, and executor
+//! with a greedy hash-join planner.
+//!
+//! The dialect covers what the paper's §8 expressiveness bridge needs —
+//! `SELECT` / `FROM` / `JOIN..ON` / `WHERE` / `GROUP BY` / `HAVING` /
+//! `ORDER BY` / `LIMIT`, aggregates, `LIKE`, `IN`, `IS NULL` — plus
+//! `CREATE TABLE` and `INSERT` for completeness.
+
+pub mod ast;
+pub mod executor;
+pub mod lexer;
+pub mod naive;
+pub mod parser;
+
+pub use ast::{
+    ColumnDef, JoinClause, OrderItem, Query, SelectItem, SqlExpr, Statement, TableRef,
+};
+pub use executor::execute;
+pub use lexer::{tokenize, Token};
+pub use parser::parse_statement;

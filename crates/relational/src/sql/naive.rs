@@ -1,0 +1,104 @@
+//! A deliberately naive reference evaluator for SELECT queries: cross
+//! product of all FROM/JOIN tables, then filter, then the shared
+//! grouping/projection tail.
+//!
+//! It shares no planning logic with [`super::executor`] — no predicate
+//! pushdown, no join ordering, no hash joins — which makes it a trustworthy
+//! oracle for differential testing: for any supported query, the optimized
+//! executor must return the same bag of rows (up to ORDER BY ties).
+
+use super::ast::{Query, Statement};
+use crate::algebra::Relation;
+use crate::database::Database;
+use crate::{Error, Result};
+
+/// Executes a SELECT with the naive strategy.
+pub fn execute_naive(db: &Database, sql: &str) -> Result<Relation> {
+    match super::parser::parse_statement(sql)? {
+        Statement::Select(q) => execute_query_naive(db, &q),
+        _ => Err(Error::Parse("naive evaluator only supports SELECT".into())),
+    }
+}
+
+/// Executes a parsed SELECT with the naive strategy.
+pub fn execute_query_naive(db: &Database, q: &Query) -> Result<Relation> {
+    // Cross product of every table in FROM + JOIN, in syntactic order.
+    let mut refs = q.from.clone();
+    refs.extend(q.joins.iter().map(|j| j.table.clone()));
+    let mut current: Option<Relation> = None;
+    for r in &refs {
+        let rel = Relation::from_table(db.table(&r.table)?, r.effective_alias());
+        current = Some(match current {
+            None => rel,
+            Some(acc) => acc.cross(&rel),
+        });
+    }
+    let mut current = current.ok_or_else(|| Error::Parse("empty FROM".into()))?;
+
+    // Apply every predicate (JOIN..ON and WHERE) post hoc.
+    for j in &q.joins {
+        let e = super::executor::resolve_row_expr(&j.on, &current)?;
+        current = current.select(&e)?;
+    }
+    if let Some(w) = &q.where_clause {
+        let e = super::executor::resolve_row_expr(w, &current)?;
+        current = current.select(&e)?;
+    }
+
+    // Reuse the executor's tail (grouping, HAVING, ORDER BY, projection,
+    // DISTINCT, LIMIT) on the filtered cross product: the tail contains no
+    // join planning, which is what this oracle is checking.
+    super::executor::finish_query(q, current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::execute;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        for stmt in [
+            "CREATE TABLE a (id INT PRIMARY KEY, x INT NOT NULL)",
+            "CREATE TABLE b (id INT PRIMARY KEY, a_id INT REFERENCES a(id), y TEXT)",
+            "INSERT INTO a VALUES (1, 10), (2, 20), (3, 30)",
+            "INSERT INTO b VALUES (1, 1, 'p'), (2, 1, 'q'), (3, 2, 'r')",
+        ] {
+            execute(&mut db, stmt).unwrap();
+        }
+        db
+    }
+
+    fn sorted(rel: Relation) -> Vec<Vec<crate::value::Value>> {
+        let mut rows = rel.rows;
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn naive_matches_planner_on_join() {
+        let d = db();
+        let sql = "SELECT a.x, b.y FROM a, b WHERE a.id = b.a_id AND a.x >= 10";
+        let mut d2 = d.clone();
+        let planned = execute(&mut d2, sql).unwrap();
+        let naive = execute_naive(&d, sql).unwrap();
+        assert_eq!(sorted(planned), sorted(naive));
+    }
+
+    #[test]
+    fn naive_matches_planner_on_group_by() {
+        let d = db();
+        let sql = "SELECT a.x, COUNT(*) AS n FROM a, b WHERE a.id = b.a_id \
+                   GROUP BY a.x ORDER BY n DESC, a.x";
+        let mut d2 = d.clone();
+        let planned = execute(&mut d2, sql).unwrap();
+        let naive = execute_naive(&d, sql).unwrap();
+        assert_eq!(planned.rows, naive.rows); // fully ordered
+    }
+
+    #[test]
+    fn naive_rejects_non_select() {
+        let d = db();
+        assert!(execute_naive(&d, "INSERT INTO a VALUES (9, 9)").is_err());
+    }
+}

@@ -1,0 +1,336 @@
+//! Row storage for a single table, with a primary-key hash index and
+//! optional secondary indexes.
+
+use crate::schema::TableSchema;
+use crate::value::Value;
+use crate::{Error, Result};
+use std::collections::HashMap;
+
+/// A tuple of values, positionally matching the table's columns.
+pub type Row = Vec<Value>;
+
+/// In-memory storage for one table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Row>,
+    /// PK value(s) -> row index. Only maintained when the schema has a PK.
+    pk_index: HashMap<Vec<Value>, usize>,
+    /// column position -> (value -> row indices), built on demand.
+    secondary: HashMap<usize, HashMap<Value, Vec<usize>>>,
+}
+
+impl Table {
+    /// Creates an empty table after validating the schema.
+    pub fn new(schema: TableSchema) -> Result<Self> {
+        schema.validate()?;
+        Ok(Table {
+            schema,
+            rows: Vec::new(),
+            pk_index: HashMap::new(),
+            secondary: HashMap::new(),
+        })
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows, in insertion order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Row by position.
+    pub fn row(&self, idx: usize) -> Option<&Row> {
+        self.rows.get(idx)
+    }
+
+    fn pk_key(&self, row: &Row) -> Result<Option<Vec<Value>>> {
+        if self.schema.primary_key.is_empty() {
+            return Ok(None);
+        }
+        let idx = self.schema.primary_key_indices()?;
+        Ok(Some(idx.iter().map(|&i| row[i].clone()).collect()))
+    }
+
+    /// Inserts a row, enforcing arity, type, nullability and PK uniqueness.
+    ///
+    /// Foreign-key checks happen at the [`crate::database::Database`] level
+    /// because they need access to other tables.
+    pub fn insert(&mut self, row: Row) -> Result<usize> {
+        if row.len() != self.schema.arity() {
+            return Err(Error::Constraint(format!(
+                "table `{}` expects {} values, got {}",
+                self.schema.name,
+                self.schema.arity(),
+                row.len()
+            )));
+        }
+        for (v, c) in row.iter().zip(&self.schema.columns) {
+            if v.is_null() && !c.nullable {
+                return Err(Error::Constraint(format!(
+                    "NULL in non-nullable column `{}.{}`",
+                    self.schema.name, c.name
+                )));
+            }
+            if !v.fits(c.data_type) {
+                return Err(Error::Constraint(format!(
+                    "value {v} does not fit column `{}.{}` of type {}",
+                    self.schema.name, c.name, c.data_type
+                )));
+            }
+        }
+        if let Some(key) = self.pk_key(&row)? {
+            if key.iter().any(Value::is_null) {
+                return Err(Error::Constraint(format!(
+                    "NULL primary key in table `{}`",
+                    self.schema.name
+                )));
+            }
+            if self.pk_index.contains_key(&key) {
+                return Err(Error::Constraint(format!(
+                    "duplicate primary key {key:?} in table `{}`",
+                    self.schema.name
+                )));
+            }
+            self.pk_index.insert(key, self.rows.len());
+        }
+        // Secondary indexes are invalidated by mutation; drop them lazily.
+        self.secondary.clear();
+        self.rows.push(row);
+        Ok(self.rows.len() - 1)
+    }
+
+    /// Looks up a row by its (possibly composite) primary-key value.
+    pub fn get_by_pk(&self, key: &[Value]) -> Option<&Row> {
+        self.pk_index.get(key).map(|&i| &self.rows[i])
+    }
+
+    /// Position of the row with the given primary key.
+    pub fn pk_row_index(&self, key: &[Value]) -> Option<usize> {
+        self.pk_index.get(key).copied()
+    }
+
+    /// Ensures a secondary hash index exists on the column at `col` and
+    /// returns the row positions whose value equals `key`.
+    pub fn lookup_indexed(&mut self, col: usize, key: &Value) -> &[usize] {
+        if !self.secondary.contains_key(&col) {
+            let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
+            for (i, r) in self.rows.iter().enumerate() {
+                map.entry(r[col].clone()).or_default().push(i);
+            }
+            self.secondary.insert(col, map);
+        }
+        self.secondary
+            .get(&col)
+            .and_then(|m| m.get(key))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Scans for rows whose column `col` equals `key` without an index.
+    pub fn scan_eq(&self, col: usize, key: &Value) -> impl Iterator<Item = &Row> + '_ {
+        let key = key.clone();
+        self.rows
+            .iter()
+            .filter(move |r| r[col].sql_eq(&key) == Some(true))
+    }
+
+    /// Deletes all rows satisfying `pred`; returns how many were removed.
+    ///
+    /// Indexes are rebuilt. Referential integrity is the caller's concern
+    /// ([`crate::database::Database::delete_where`] enforces it).
+    pub fn delete_where(&mut self, pred: &crate::expr::Expr) -> Result<usize> {
+        let mut kept = Vec::with_capacity(self.rows.len());
+        let mut removed = 0usize;
+        for row in self.rows.drain(..) {
+            if pred.matches(&row)? {
+                removed += 1;
+            } else {
+                kept.push(row);
+            }
+        }
+        self.rows = kept;
+        self.rebuild_indexes()?;
+        Ok(removed)
+    }
+
+    /// Updates columns of all rows satisfying `pred` to the given values;
+    /// returns how many rows changed. Type/nullability/PK-uniqueness
+    /// constraints are re-checked.
+    pub fn update_where(
+        &mut self,
+        pred: &crate::expr::Expr,
+        sets: &[(usize, Value)],
+    ) -> Result<usize> {
+        for (col, v) in sets {
+            let c = self
+                .schema
+                .columns
+                .get(*col)
+                .ok_or_else(|| Error::Eval(format!("column index {col} out of range")))?;
+            if v.is_null() && !c.nullable {
+                return Err(Error::Constraint(format!(
+                    "NULL in non-nullable column `{}.{}`",
+                    self.schema.name, c.name
+                )));
+            }
+            if !v.fits(c.data_type) {
+                return Err(Error::Constraint(format!(
+                    "value {v} does not fit column `{}.{}` of type {}",
+                    self.schema.name, c.name, c.data_type
+                )));
+            }
+        }
+        let mut changed = 0usize;
+        let before = self.rows.clone();
+        for row in &mut self.rows {
+            if pred.matches(row)? {
+                for (col, v) in sets {
+                    row[*col] = v.clone();
+                }
+                changed += 1;
+            }
+        }
+        if let Err(e) = self.rebuild_indexes() {
+            // PK collision introduced by the update: roll back.
+            self.rows = before;
+            self.rebuild_indexes().expect("previous state was valid");
+            return Err(e);
+        }
+        Ok(changed)
+    }
+
+    /// Rebuilds the PK index (checking uniqueness) and drops secondary
+    /// indexes.
+    fn rebuild_indexes(&mut self) -> Result<()> {
+        self.secondary.clear();
+        self.pk_index.clear();
+        if self.schema.primary_key.is_empty() {
+            return Ok(());
+        }
+        let idx = self.schema.primary_key_indices()?;
+        for (i, row) in self.rows.iter().enumerate() {
+            let key: Vec<Value> = idx.iter().map(|&c| row[c].clone()).collect();
+            if self.pk_index.insert(key.clone(), i).is_some() {
+                return Err(Error::Constraint(format!(
+                    "duplicate primary key {key:?} in table `{}`",
+                    self.schema.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Distinct values appearing in column `col` (used by the categorical
+    /// attribute heuristic of Appendix A).
+    pub fn distinct_values(&self, col: usize) -> Vec<Value> {
+        let mut seen = std::collections::BTreeSet::new();
+        for r in &self.rows {
+            seen.insert(r[col].clone());
+        }
+        seen.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, TableSchema};
+    use crate::value::DataType;
+
+    fn make() -> Table {
+        Table::new(
+            TableSchema::new(
+                "T",
+                vec![
+                    Column::new("id", DataType::Int),
+                    Column::nullable("name", DataType::Text),
+                ],
+            )
+            .with_primary_key(&["id"]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut t = make();
+        t.insert(vec![1.into(), "a".into()]).unwrap();
+        t.insert(vec![2.into(), Value::Null]).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get_by_pk(&[1.into()]).unwrap()[1], "a".into());
+        assert!(t.get_by_pk(&[3.into()]).is_none());
+    }
+
+    #[test]
+    fn rejects_duplicate_pk() {
+        let mut t = make();
+        t.insert(vec![1.into(), "a".into()]).unwrap();
+        assert!(t.insert(vec![1.into(), "b".into()]).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_arity_and_type() {
+        let mut t = make();
+        assert!(t.insert(vec![1.into()]).is_err());
+        assert!(t.insert(vec!["x".into(), "a".into()]).is_err());
+    }
+
+    #[test]
+    fn rejects_null_in_non_nullable() {
+        let mut t = make();
+        assert!(t.insert(vec![Value::Null, "a".into()]).is_err());
+    }
+
+    #[test]
+    fn secondary_index_matches_scan() {
+        let mut t = make();
+        for i in 0..10 {
+            t.insert(vec![i.into(), Value::Text(format!("n{}", i % 3))])
+                .unwrap();
+        }
+        let via_index: Vec<usize> = t.lookup_indexed(1, &"n1".into()).to_vec();
+        let via_scan: Vec<usize> = t
+            .rows()
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r[1] == "n1".into())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(via_index, via_scan);
+    }
+
+    #[test]
+    fn index_invalidated_on_insert() {
+        let mut t = make();
+        t.insert(vec![1.into(), "x".into()]).unwrap();
+        assert_eq!(t.lookup_indexed(1, &"x".into()).len(), 1);
+        t.insert(vec![2.into(), "x".into()]).unwrap();
+        assert_eq!(t.lookup_indexed(1, &"x".into()).len(), 2);
+    }
+
+    #[test]
+    fn distinct_values_sorted() {
+        let mut t = make();
+        t.insert(vec![1.into(), "b".into()]).unwrap();
+        t.insert(vec![2.into(), "a".into()]).unwrap();
+        t.insert(vec![3.into(), "a".into()]).unwrap();
+        assert_eq!(
+            t.distinct_values(1),
+            vec![Value::from("a"), Value::from("b")]
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! DELETE / UPDATE behaviour: predicate evaluation, index maintenance,
+//! RESTRICT semantics and rollback on integrity violations.
+
+use etable_relational::database::Database;
+use etable_relational::sql::execute;
+use etable_relational::value::Value;
+
+fn db() -> Database {
+    let mut db = Database::new();
+    for stmt in [
+        "CREATE TABLE parent (id INT PRIMARY KEY, name TEXT NOT NULL)",
+        "CREATE TABLE child (id INT PRIMARY KEY, parent_id INT REFERENCES parent(id), v INT)",
+        "INSERT INTO parent VALUES (1, 'a'), (2, 'b'), (3, 'c')",
+        "INSERT INTO child VALUES (10, 1, 5), (11, 1, 6), (12, 2, NULL)",
+    ] {
+        execute(&mut db, stmt).unwrap();
+    }
+    db
+}
+
+fn count(db: &mut Database, sql: &str) -> i64 {
+    execute(db, sql).unwrap().rows[0][0].as_int().unwrap()
+}
+
+#[test]
+fn delete_with_predicate() {
+    let mut d = db();
+    execute(&mut d, "DELETE FROM child WHERE v >= 6").unwrap();
+    assert_eq!(count(&mut d, "SELECT COUNT(*) FROM child"), 2);
+    // NULL v row survives (predicate UNKNOWN).
+    let r = execute(&mut d, "SELECT id FROM child ORDER BY id").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(10));
+    assert_eq!(r.rows[1][0], Value::Int(12));
+}
+
+#[test]
+fn delete_without_where_empties_table() {
+    let mut d = db();
+    execute(&mut d, "DELETE FROM child").unwrap();
+    assert_eq!(count(&mut d, "SELECT COUNT(*) FROM child"), 0);
+}
+
+#[test]
+fn delete_restricts_on_referenced_rows() {
+    let mut d = db();
+    let err = execute(&mut d, "DELETE FROM parent WHERE id = 1");
+    assert!(err.is_err(), "parent 1 is referenced by two children");
+    // Unreferenced parent can go.
+    execute(&mut d, "DELETE FROM parent WHERE id = 3").unwrap();
+    assert_eq!(count(&mut d, "SELECT COUNT(*) FROM parent"), 2);
+}
+
+#[test]
+fn delete_cascade_order_works() {
+    let mut d = db();
+    execute(&mut d, "DELETE FROM child WHERE parent_id = 1").unwrap();
+    execute(&mut d, "DELETE FROM parent WHERE id = 1").unwrap();
+    assert_eq!(count(&mut d, "SELECT COUNT(*) FROM parent"), 2);
+    d.check_integrity().unwrap();
+}
+
+#[test]
+fn pk_index_rebuilt_after_delete() {
+    let mut d = db();
+    execute(&mut d, "DELETE FROM child WHERE id = 10").unwrap();
+    let child = d.table("child").unwrap();
+    assert!(child.get_by_pk(&[Value::Int(10)]).is_none());
+    assert!(child.get_by_pk(&[Value::Int(11)]).is_some());
+    // Insert with the deleted key works again.
+    execute(&mut d, "INSERT INTO child VALUES (10, 2, 9)").unwrap();
+}
+
+#[test]
+fn update_values_and_where() {
+    let mut d = db();
+    execute(&mut d, "UPDATE child SET v = 100 WHERE parent_id = 1").unwrap();
+    let r = execute(&mut d, "SELECT v FROM child WHERE id = 10").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(100));
+    let r = execute(&mut d, "SELECT v FROM child WHERE id = 12").unwrap();
+    assert_eq!(r.rows[0][0], Value::Null);
+}
+
+#[test]
+fn update_to_null_respects_nullability() {
+    let mut d = db();
+    assert!(execute(&mut d, "UPDATE parent SET name = NULL WHERE id = 1").is_err());
+    execute(&mut d, "UPDATE child SET v = NULL WHERE id = 10").unwrap();
+}
+
+#[test]
+fn update_fk_is_validated_and_rolled_back() {
+    let mut d = db();
+    let err = execute(&mut d, "UPDATE child SET parent_id = 99 WHERE id = 10");
+    assert!(err.is_err());
+    // Rolled back: still points at parent 1.
+    let r = execute(&mut d, "SELECT parent_id FROM child WHERE id = 10").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(1));
+    d.check_integrity().unwrap();
+}
+
+#[test]
+fn update_pk_collision_rolls_back() {
+    let mut d = db();
+    let err = execute(&mut d, "UPDATE child SET id = 11 WHERE id = 10");
+    assert!(err.is_err());
+    assert_eq!(count(&mut d, "SELECT COUNT(*) FROM child"), 3);
+    d.check_integrity().unwrap();
+}
+
+#[test]
+fn update_referenced_pk_is_rejected_when_children_exist() {
+    let mut d = db();
+    let err = execute(&mut d, "UPDATE parent SET id = 9 WHERE id = 1");
+    assert!(err.is_err(), "children still reference parent 1");
+    // But renaming an unreferenced parent key is fine.
+    execute(&mut d, "UPDATE parent SET id = 9 WHERE id = 3").unwrap();
+    d.check_integrity().unwrap();
+}
+
+#[test]
+fn update_type_mismatch_rejected() {
+    let mut d = db();
+    assert!(execute(&mut d, "UPDATE child SET v = 'text' WHERE id = 10").is_err());
+}
+
+#[test]
+fn mutations_then_queries_stay_consistent() {
+    let mut d = db();
+    execute(&mut d, "UPDATE child SET v = 1 WHERE v IS NULL").unwrap();
+    execute(&mut d, "DELETE FROM child WHERE v = 1").unwrap();
+    let r = execute(
+        &mut d,
+        "SELECT p.name, COUNT(*) AS n FROM parent p, child c \
+         WHERE c.parent_id = p.id GROUP BY p.name ORDER BY p.name",
+    )
+    .unwrap();
+    assert_eq!(r.len(), 1);
+    assert_eq!(r.rows[0][0], "a".into());
+    assert_eq!(r.rows[0][1], Value::Int(2));
+}

@@ -1,0 +1,25 @@
+//! # etable-study
+//!
+//! A simulated reproduction of the ETable paper's user study (§7):
+//! 12 participants, within-subjects, two conditions (ETable vs. a
+//! Navicat-style graphical query builder), six tasks (Table 2), 300-second
+//! timeout, paired t-tests and 95% confidence intervals (Figure 10), and a
+//! subjective-rating proxy (Table 3).
+//!
+//! The ETable condition drives the real engine; the query-builder condition
+//! is a Keystroke-Level-Model trace with an error model encoding the
+//! paper's qualitative observations (SQL syntax errors, GROUP BY
+//! confusion, restart-from-scratch behaviour). See DESIGN.md for the
+//! substitution rationale.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod klm;
+pub mod participant;
+pub mod ratings;
+pub mod runner;
+pub mod scripts;
+pub mod stats;
+
+pub use runner::{run_study, StudyConfig, StudyResults, TaskResult};

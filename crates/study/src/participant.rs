@@ -1,0 +1,121 @@
+//! Simulated participants.
+//!
+//! The paper recruited 12 graduate students, self-rated SQL experience
+//! 3–6 on a 7-point scale (mean 4.67), none of whom had used the graphical
+//! query builder before (§7.1). Each simulated participant carries a speed
+//! factor (individual pace), an SQL-expertise rating that modulates the
+//! error model of the query-builder condition, and a per-task lognormal
+//! noise term.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One simulated participant.
+#[derive(Debug, Clone)]
+pub struct Participant {
+    /// Participant number (1-based).
+    pub id: usize,
+    /// Multiplier on all interaction times (1.0 = nominal KLM speed).
+    pub speed: f64,
+    /// Self-rated SQL experience on a 7-point Likert scale (3–6, as in the
+    /// paper's population).
+    pub sql_expertise: u8,
+    /// Which condition the participant sees first (counterbalanced).
+    pub etable_first: bool,
+}
+
+impl Participant {
+    /// Draws the 12-participant panel; exactly half start with each
+    /// condition (the paper counterbalanced 6/6).
+    pub fn panel(rng: &mut StdRng, n: usize) -> Vec<Participant> {
+        (0..n)
+            .map(|i| Participant {
+                id: i + 1,
+                // Individual pace: 0.85x – 1.35x of nominal KLM times.
+                speed: 0.85 + rng.gen_range(0.0..0.5),
+                // Likert 3..=6, matching the reported range and mean ~4.67.
+                sql_expertise: *[3u8, 4, 5, 5, 5, 6]
+                    .get(rng.gen_range(0..6))
+                    .expect("non-empty"),
+                etable_first: i % 2 == 0,
+            })
+            .collect()
+    }
+
+    /// Probability that one SQL formulation attempt fails for this
+    /// participant, given the task's base failure rate.
+    ///
+    /// §7.2: "Many participants, who are non-database experts, could not
+    /// recall some SQL syntax and had trouble debugging errors" — expertise
+    /// reduces the failure odds.
+    pub fn sql_failure_prob(&self, base: f64) -> f64 {
+        let expertise_factor = match self.sql_expertise {
+            0..=3 => 1.4,
+            4 => 1.1,
+            5 => 0.85,
+            _ => 0.6,
+        };
+        (base * expertise_factor).clamp(0.0, 0.95)
+    }
+
+    /// Lognormal noise factor for one task execution (σ≈0.15).
+    pub fn noise(&self, rng: &mut StdRng) -> f64 {
+        // Box-Muller from two uniforms.
+        let u1: f64 = rng.gen_range(1e-9..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (0.15 * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn panel_is_counterbalanced() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let panel = Participant::panel(&mut rng, 12);
+        assert_eq!(panel.len(), 12);
+        assert_eq!(panel.iter().filter(|p| p.etable_first).count(), 6);
+    }
+
+    #[test]
+    fn expertise_in_reported_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for p in Participant::panel(&mut rng, 100) {
+            assert!((3..=6).contains(&p.sql_expertise));
+            assert!(p.speed >= 0.85 && p.speed <= 1.35);
+        }
+    }
+
+    #[test]
+    fn failure_prob_decreases_with_expertise() {
+        let novice = Participant {
+            id: 1,
+            speed: 1.0,
+            sql_expertise: 3,
+            etable_first: true,
+        };
+        let expert = Participant {
+            sql_expertise: 6,
+            ..novice.clone()
+        };
+        assert!(novice.sql_failure_prob(0.4) > expert.sql_failure_prob(0.4));
+    }
+
+    #[test]
+    fn noise_is_centered_near_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = Participant {
+            id: 1,
+            speed: 1.0,
+            sql_expertise: 4,
+            etable_first: true,
+        };
+        let samples: Vec<f64> = (0..2000).map(|_| p.noise(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean noise {mean}");
+    }
+}

@@ -1,0 +1,269 @@
+//! Statistics for the simulated user study: means, 95% confidence
+//! intervals, and two-tailed paired t-tests — the analyses of §7.2 /
+//! Figure 10.
+//!
+//! The Student-t CDF is computed through the regularized incomplete beta
+//! function (continued-fraction expansion, Numerical Recipes style); no
+//! external crates are used.
+
+/// Natural log of the gamma function (Lanczos approximation, g=7, n=9).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_beta = ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b);
+    let front = (a * x.ln() + b * (1.0 - x).ln() - ln_beta).exp();
+    // Continued fraction (Lentz's algorithm).
+    let cf = |a: f64, b: f64, x: f64| -> f64 {
+        const MAX_ITER: usize = 300;
+        const EPS: f64 = 1e-14;
+        let tiny = 1e-300;
+        let qab = a + b;
+        let qap = a + 1.0;
+        let qam = a - 1.0;
+        let mut c = 1.0;
+        let mut d = 1.0 - qab * x / qap;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        d = 1.0 / d;
+        let mut h = d;
+        for m in 1..=MAX_ITER {
+            let m = m as f64;
+            let m2 = 2.0 * m;
+            let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+            d = 1.0 + aa * d;
+            if d.abs() < tiny {
+                d = tiny;
+            }
+            c = 1.0 + aa / c;
+            if c.abs() < tiny {
+                c = tiny;
+            }
+            d = 1.0 / d;
+            h *= d * c;
+            let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+            d = 1.0 + aa * d;
+            if d.abs() < tiny {
+                d = tiny;
+            }
+            c = 1.0 + aa / c;
+            if c.abs() < tiny {
+                c = tiny;
+            }
+            d = 1.0 / d;
+            let del = d * c;
+            h *= del;
+            if (del - 1.0).abs() < EPS {
+                break;
+            }
+        }
+        h
+    };
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * cf(a, b, x) / a
+    } else {
+        // Use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) for faster
+        // convergence of the continued fraction.
+        1.0 - front * cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+pub fn t_cdf(t: f64, df: f64) -> f64 {
+    let x = df / (df + t * t);
+    let p = 0.5 * beta_inc(df / 2.0, 0.5, x);
+    if t > 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// Two-tailed p-value for a t statistic.
+pub fn t_two_tailed_p(t: f64, df: f64) -> f64 {
+    2.0 * (1.0 - t_cdf(t.abs(), df))
+}
+
+/// Inverse CDF (quantile) of Student's t via bisection.
+pub fn t_quantile(p: f64, df: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p));
+    let (mut lo, mut hi) = (-1e3, 1e3);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if t_cdf(mid, df) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Sample mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n-1 denominator).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() as f64 - 1.0);
+    var.sqrt()
+}
+
+/// Half-width of the 95% confidence interval for the mean (t-based, as in
+/// the paper's Figure 10 error bars).
+pub fn ci95_half_width(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let t = t_quantile(0.975, n - 1.0);
+    t * std_dev(xs) / n.sqrt()
+}
+
+/// Result of a paired t-test.
+#[derive(Debug, Clone, Copy)]
+pub struct PairedTTest {
+    /// The t statistic.
+    pub t: f64,
+    /// Degrees of freedom (n - 1).
+    pub df: f64,
+    /// Two-tailed p-value.
+    pub p: f64,
+}
+
+/// Two-tailed paired t-test on matched samples (the paper's analysis).
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> PairedTTest {
+    assert_eq!(a.len(), b.len(), "paired samples must have equal length");
+    let d: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let n = d.len() as f64;
+    let md = mean(&d);
+    let sd = std_dev(&d);
+    let t = if sd == 0.0 {
+        if md == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY * md.signum()
+        }
+    } else {
+        md / (sd / n.sqrt())
+    };
+    let df = n - 1.0;
+    let p = if t.is_infinite() {
+        0.0
+    } else {
+        t_two_tailed_p(t, df)
+    };
+    PairedTTest { t, df, p }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        assert!(close(ln_gamma(1.0), 0.0, 1e-10));
+        assert!(close(ln_gamma(2.0), 0.0, 1e-10));
+        assert!(close(ln_gamma(5.0), (24.0f64).ln(), 1e-9)); // 4! = 24
+        assert!(close(ln_gamma(0.5), (std::f64::consts::PI).sqrt().ln(), 1e-9));
+    }
+
+    #[test]
+    fn t_cdf_symmetry_and_known_points() {
+        assert!(close(t_cdf(0.0, 10.0), 0.5, 1e-10));
+        // Symmetry.
+        let p = t_cdf(1.5, 7.0);
+        assert!(close(t_cdf(-1.5, 7.0), 1.0 - p, 1e-10));
+        // For df=1 (Cauchy), CDF(1) = 0.75.
+        assert!(close(t_cdf(1.0, 1.0), 0.75, 1e-6));
+        // Large df approaches the normal: CDF(1.96, 1e6) ~ 0.975.
+        assert!(close(t_cdf(1.96, 1e6), 0.975, 1e-3));
+    }
+
+    #[test]
+    fn t_quantile_inverts_cdf() {
+        for df in [3.0, 11.0, 30.0] {
+            for p in [0.9, 0.95, 0.975, 0.995] {
+                let q = t_quantile(p, df);
+                assert!(close(t_cdf(q, df), p, 1e-8), "df={df} p={p}");
+            }
+        }
+        // Known table value: t_{0.975, 11} = 2.201.
+        assert!(close(t_quantile(0.975, 11.0), 2.201, 1e-3));
+    }
+
+    #[test]
+    fn descriptives() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!(close(mean(&xs), 5.0, 1e-12));
+        assert!(close(std_dev(&xs), (32.0f64 / 7.0).sqrt(), 1e-12));
+    }
+
+    #[test]
+    fn paired_t_detects_shift() {
+        let a = [10.0, 11.0, 12.0, 13.0, 9.0, 10.5, 11.5, 12.5, 10.2, 11.2, 12.2, 9.8];
+        let b: Vec<f64> = a.iter().map(|x| x + 5.0).collect();
+        let test = paired_t_test(&a, &b);
+        assert!(test.p < 1e-9, "p = {}", test.p);
+        assert!(test.t < 0.0);
+    }
+
+    #[test]
+    fn paired_t_null_case() {
+        // Differences with zero mean: alternate +1/-1.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [2.0, 1.0, 4.0, 3.0, 6.0, 5.0];
+        let test = paired_t_test(&a, &b);
+        assert!(test.p > 0.5, "p = {}", test.p);
+    }
+
+    #[test]
+    fn ci_half_width_matches_manual() {
+        let xs = [10.0, 12.0, 14.0, 16.0];
+        // sd = sqrt(20/3), n = 4, t_{0.975,3} = 3.1824
+        let expected = 3.182_446 * (20.0f64 / 3.0).sqrt() / 2.0;
+        assert!(close(ci95_half_width(&xs), expected, 1e-3));
+    }
+
+    #[test]
+    fn beta_inc_bounds() {
+        assert_eq!(beta_inc(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(beta_inc(2.0, 3.0, 1.0), 1.0);
+        // I_x(1,1) = x.
+        assert!(close(beta_inc(1.0, 1.0, 0.3), 0.3, 1e-10));
+    }
+}

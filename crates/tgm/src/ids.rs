@@ -1,0 +1,65 @@
+//! Newtype identifiers for graph objects.
+//!
+//! `u32` representations keep the instance graph compact (paper-scale data
+//! sets have tens of thousands of nodes; u32 leaves ample headroom).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The index this id encodes.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from an index.
+            pub fn from_index(i: usize) -> Self {
+                $name(u32::try_from(i).expect("id space exhausted"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a node type in the schema graph.
+    NodeTypeId,
+    "nt"
+);
+id_type!(
+    /// Identifies an edge type in the schema graph.
+    EdgeTypeId,
+    "et"
+);
+id_type!(
+    /// Identifies a node in the instance graph.
+    NodeId,
+    "n"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_index() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "n42");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeTypeId(1) < NodeTypeId(2));
+    }
+}

@@ -1,0 +1,300 @@
+//! The TGDB instance graph (paper Definition 2).
+//!
+//! `GI = (V, E)` with a node-type mapping and an edge-type mapping. The
+//! instance graph maintains per-edge-type adjacency indexes so the "quick
+//! neighbor-lookup" the paper relies on (§1) is a hash probe plus slice.
+
+use crate::ids::{EdgeTypeId, NodeId, NodeTypeId};
+use crate::schema_graph::SchemaGraph;
+use etable_relational::value::Value;
+use std::collections::HashMap;
+
+/// A node (entity) in the instance graph.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The node's type.
+    pub node_type: NodeTypeId,
+    /// Attribute values, positionally matching the node type's `attrs`.
+    pub values: Vec<Value>,
+}
+
+/// The instance graph.
+#[derive(Debug, Clone, Default)]
+pub struct InstanceGraph {
+    nodes: Vec<Node>,
+    /// node type -> nodes of that type, in insertion order.
+    by_type: Vec<Vec<NodeId>>,
+    /// edge type -> (source node -> target nodes).
+    adjacency: Vec<HashMap<NodeId, Vec<NodeId>>>,
+    /// Total number of logical (forward) edges inserted.
+    edge_count: usize,
+}
+
+impl InstanceGraph {
+    /// Creates an empty instance graph shaped for `schema`.
+    pub fn for_schema(schema: &SchemaGraph) -> Self {
+        InstanceGraph {
+            nodes: Vec::new(),
+            by_type: vec![Vec::new(); schema.node_type_count()],
+            adjacency: vec![HashMap::new(); schema.edge_type_count()],
+            edge_count: 0,
+        }
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, node_type: NodeTypeId, values: Vec<Value>) -> NodeId {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(Node { node_type, values });
+        self.by_type[node_type.index()].push(id);
+        id
+    }
+
+    /// Adds an edge of type `et` from `src` to `tgt` and mirrors it on the
+    /// reverse edge type, keeping the graph bidirectionally navigable.
+    pub fn add_edge(&mut self, schema: &SchemaGraph, et: EdgeTypeId, src: NodeId, tgt: NodeId) {
+        let reverse = schema.edge_type(et).reverse;
+        debug_assert_eq!(self.nodes[src.index()].node_type, schema.edge_type(et).source);
+        debug_assert_eq!(self.nodes[tgt.index()].node_type, schema.edge_type(et).target);
+        self.adjacency[et.index()].entry(src).or_default().push(tgt);
+        self.adjacency[reverse.index()].entry(tgt).or_default().push(src);
+        self.edge_count += 1;
+    }
+
+    /// Node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The type of a node (`typeτ` in Definition 2).
+    pub fn type_of(&self, id: NodeId) -> NodeTypeId {
+        self.nodes[id.index()].node_type
+    }
+
+    /// The node's label `label(v) = v[βi]` rendered as text.
+    pub fn label(&self, schema: &SchemaGraph, id: NodeId) -> String {
+        let node = self.node(id);
+        let nt = schema.node_type(node.node_type);
+        node.values[nt.label_attr].to_string()
+    }
+
+    /// An attribute value of a node by attribute name.
+    pub fn attr(&self, schema: &SchemaGraph, id: NodeId, name: &str) -> Option<&Value> {
+        let node = self.node(id);
+        let nt = schema.node_type(node.node_type);
+        nt.attr_index(name).map(|i| &node.values[i])
+    }
+
+    /// Nodes of a type, in insertion order.
+    pub fn nodes_of_type(&self, nt: NodeTypeId) -> &[NodeId] {
+        &self.by_type[nt.index()]
+    }
+
+    /// Neighbors of `node` along edge type `et` (possibly empty).
+    pub fn neighbors(&self, et: EdgeTypeId, node: NodeId) -> &[NodeId] {
+        self.adjacency[et.index()]
+            .get(&node)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Out-degree of `node` along `et`.
+    pub fn degree(&self, et: EdgeTypeId, node: NodeId) -> usize {
+        self.neighbors(et, node).len()
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total logical edge count (each forward/reverse pair counted once).
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Sum of adjacency list lengths for one edge type (used by integrity
+    /// checks: must equal the source relation's row count).
+    pub fn adjacency_size(&self, et: EdgeTypeId) -> usize {
+        self.adjacency[et.index()].values().map(Vec::len).sum()
+    }
+
+    /// All node ids, in insertion order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId::from_index)
+    }
+
+    /// Verifies structural consistency against a schema graph:
+    /// * every node's values match its type's arity,
+    /// * every adjacency entry connects correctly-typed endpoints,
+    /// * every edge has its mirror on the reverse edge type.
+    ///
+    /// Returns the number of directed adjacency entries checked.
+    pub fn check_consistency(&self, schema: &SchemaGraph) -> Result<usize, String> {
+        for (i, node) in self.nodes.iter().enumerate() {
+            let nt = schema.node_type(node.node_type);
+            if node.values.len() != nt.attrs.len() {
+                return Err(format!(
+                    "node {i} of type `{}` has {} values, expected {}",
+                    nt.name,
+                    node.values.len(),
+                    nt.attrs.len()
+                ));
+            }
+        }
+        let mut checked = 0usize;
+        for (eti, adj) in self.adjacency.iter().enumerate() {
+            let et = schema.edge_type(crate::ids::EdgeTypeId::from_index(eti));
+            for (&src, targets) in adj {
+                if self.type_of(src) != et.source {
+                    return Err(format!(
+                        "edge type `{}`: source {src} has the wrong node type",
+                        et.name
+                    ));
+                }
+                for &tgt in targets {
+                    if self.type_of(tgt) != et.target {
+                        return Err(format!(
+                            "edge type `{}`: target {tgt} has the wrong node type",
+                            et.name
+                        ));
+                    }
+                    if !self.neighbors(et.reverse, tgt).contains(&src) {
+                        return Err(format!(
+                            "edge type `{}`: {src} -> {tgt} lacks its reverse mirror",
+                            et.name
+                        ));
+                    }
+                    checked += 1;
+                }
+            }
+        }
+        Ok(checked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema_graph::{AttrDef, EdgeTypeKind, NodeType, NodeTypeKind};
+    use etable_relational::value::DataType;
+
+    fn setup() -> (SchemaGraph, InstanceGraph, EdgeTypeId, Vec<NodeId>) {
+        let mut schema = SchemaGraph::new();
+        let papers = schema.add_node_type(NodeType {
+            name: "Papers".into(),
+            attrs: vec![
+                AttrDef {
+                    name: "id".into(),
+                    data_type: DataType::Int,
+                },
+                AttrDef {
+                    name: "title".into(),
+                    data_type: DataType::Text,
+                },
+            ],
+            label_attr: 1,
+            kind: NodeTypeKind::Entity,
+            source_table: "Papers".into(),
+        });
+        let authors = schema.add_node_type(NodeType {
+            name: "Authors".into(),
+            attrs: vec![
+                AttrDef {
+                    name: "id".into(),
+                    data_type: DataType::Int,
+                },
+                AttrDef {
+                    name: "name".into(),
+                    data_type: DataType::Text,
+                },
+            ],
+            label_attr: 1,
+            kind: NodeTypeKind::Entity,
+            source_table: "Authors".into(),
+        });
+        let et = schema.add_edge_type_pair(
+            "Authors",
+            "Papers",
+            papers,
+            authors,
+            EdgeTypeKind::ManyToMany,
+            crate::schema_graph::EdgeProvenance::Relation {
+                table: "Paper_Authors".into(),
+                left_col: "paper_id".into(),
+                right_col: "author_id".into(),
+            },
+        );
+        let mut g = InstanceGraph::for_schema(&schema);
+        let p1 = g.add_node(papers, vec![1.into(), "Usable DBs".into()]);
+        let p2 = g.add_node(papers, vec![2.into(), "SkewTune".into()]);
+        let a1 = g.add_node(authors, vec![10.into(), "Jagadish".into()]);
+        let a2 = g.add_node(authors, vec![11.into(), "Nandi".into()]);
+        g.add_edge(&schema, et, p1, a1);
+        g.add_edge(&schema, et, p1, a2);
+        g.add_edge(&schema, et, p2, a2);
+        (schema, g, et, vec![p1, p2, a1, a2])
+    }
+
+    #[test]
+    fn neighbor_lookup_both_directions() {
+        let (schema, g, et, ids) = setup();
+        let (p1, p2, a1, a2) = (ids[0], ids[1], ids[2], ids[3]);
+        assert_eq!(g.neighbors(et, p1), &[a1, a2]);
+        assert_eq!(g.neighbors(et, p2), &[a2]);
+        let rev = schema.edge_type(et).reverse;
+        assert_eq!(g.neighbors(rev, a2), &[p1, p2]);
+        assert_eq!(g.neighbors(rev, a1), &[p1]);
+    }
+
+    #[test]
+    fn labels_use_label_attr() {
+        let (schema, g, _, ids) = setup();
+        assert_eq!(g.label(&schema, ids[0]), "Usable DBs");
+        assert_eq!(g.label(&schema, ids[3]), "Nandi");
+    }
+
+    #[test]
+    fn attr_by_name() {
+        let (schema, g, _, ids) = setup();
+        assert_eq!(g.attr(&schema, ids[0], "id"), Some(&Value::Int(1)));
+        assert!(g.attr(&schema, ids[0], "nope").is_none());
+    }
+
+    #[test]
+    fn counts() {
+        let (_, g, et, _) = setup();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.adjacency_size(et), 3);
+    }
+
+    #[test]
+    fn nodes_of_type_partition() {
+        let (schema, g, _, _) = setup();
+        let (papers, _) = schema.node_type_by_name("Papers").unwrap();
+        let (authors, _) = schema.node_type_by_name("Authors").unwrap();
+        assert_eq!(g.nodes_of_type(papers).len(), 2);
+        assert_eq!(g.nodes_of_type(authors).len(), 2);
+        // The partition covers every node exactly once.
+        assert_eq!(
+            g.nodes_of_type(papers).len() + g.nodes_of_type(authors).len(),
+            g.node_count()
+        );
+    }
+
+    #[test]
+    fn consistency_check_passes_and_counts() {
+        let (schema, g, _, _) = setup();
+        // 3 logical edges, mirrored -> 6 directed adjacency entries.
+        assert_eq!(g.check_consistency(&schema), Ok(6));
+    }
+
+    #[test]
+    fn empty_neighbors_for_isolated_node() {
+        let (schema, mut g, et, _) = setup();
+        let (papers, _) = schema.node_type_by_name("Papers").unwrap();
+        let p3 = g.add_node(papers, vec![3.into(), "Lonely".into()]);
+        assert!(g.neighbors(et, p3).is_empty());
+        assert_eq!(g.degree(et, p3), 0);
+    }
+}

@@ -1,0 +1,22 @@
+//! The simulated user study (§7): 12 participants, 6 tasks, two
+//! conditions, paired t-tests — prints Figure 10 and the Table 3 proxy.
+//!
+//! Run with `cargo run --example user_study`.
+
+use etable_repro::study::ratings::{render_table3, table3};
+use etable_repro::study::{run_study, StudyConfig};
+
+fn main() {
+    let (_, tgdb) = etable_repro::default_environment();
+    let results = run_study(&tgdb, &StudyConfig::default());
+
+    println!("{}", results.render_figure10());
+    println!("\nper-task standard deviations (§7.2's variance observation):");
+    println!("{}", results.variance_summary());
+    println!("{}", render_table3(&table3(&results)));
+
+    println!("nominal (noise-free) ETable task times from the KLM scripts:");
+    for (i, t) in results.etable_nominal.iter().enumerate() {
+        println!("  task {}: {:.1}s", i + 1, t);
+    }
+}

@@ -1,0 +1,59 @@
+//! # etable-repro
+//!
+//! Umbrella crate for the reproduction of *"Interactive Browsing and
+//! Navigation in Relational Databases"* (Kahng, Navathe, Stasko, Chau —
+//! PVLDB 9(12), VLDB 2016).
+//!
+//! Re-exports the workspace crates under stable names:
+//!
+//! * [`relational`] — the in-memory relational engine substrate,
+//! * [`tgm`] — the typed graph model and the Appendix A translation,
+//! * [`core`] — the ETable presentation data model (the paper's
+//!   contribution),
+//! * [`datagen`] — the synthetic academic database and Table 2 tasks,
+//! * [`study`] — the simulated user study (Figure 10, Table 3).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
+//! the full system inventory.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use etable_core as core;
+pub use etable_datagen as datagen;
+pub use etable_relational as relational;
+pub use etable_study as study;
+pub use etable_tgm as tgm;
+
+/// Builds the default evaluation environment: the synthetic academic
+/// database at medium scale plus its typed-graph translation.
+pub fn default_environment() -> (
+    relational::database::Database,
+    tgm::Tgdb,
+) {
+    let db = datagen::generate(&datagen::GenConfig::medium());
+    let tgdb = tgm::translate(&db, &tgm::TranslateOptions::default())
+        .expect("the Figure 3 schema always translates");
+    (db, tgdb)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn default_environment_is_consistent() {
+        let (db, tgdb) = super::default_environment();
+        assert_eq!(db.table_names().len(), 7);
+        // Every entity row became a node.
+        let entity_rows: usize = ["Authors", "Conferences", "Institutions", "Papers"]
+            .iter()
+            .map(|t| db.table(t).unwrap().len())
+            .sum();
+        let entity_nodes: usize = tgdb
+            .schema
+            .entity_types()
+            .iter()
+            .map(|(id, _)| tgdb.instances.nodes_of_type(*id).len())
+            .sum();
+        assert_eq!(entity_rows, entity_nodes);
+    }
+}

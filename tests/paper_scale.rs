@@ -1,0 +1,53 @@
+//! Paper-scale smoke test: the full 38,000-paper data set of §7.1,
+//! translated and queried end to end. Ignored by default because it takes
+//! tens of seconds in debug builds; run with
+//! `cargo test --release -- --ignored paper_scale`.
+
+use etable_repro::core::pattern::{FilterAtom, NodeFilter};
+use etable_repro::core::session::Session;
+use etable_repro::datagen::{generate, GenConfig};
+use etable_repro::relational::expr::CmpOp;
+use etable_repro::tgm::{translate, TranslateOptions};
+
+#[test]
+#[ignore = "paper-scale run (38k papers); invoke with --ignored in release mode"]
+fn paper_scale_pipeline() {
+    let cfg = GenConfig::paper_scale();
+    let db = generate(&cfg);
+    assert_eq!(db.table("Papers").unwrap().len(), 38_000);
+    db.check_integrity().unwrap();
+
+    let tgdb = translate(&db, &TranslateOptions::default()).unwrap();
+    // Every entity row becomes a node; link rows become edges.
+    assert!(tgdb.instances.node_count() > 60_000);
+    assert!(tgdb.instances.edge_count() > 200_000);
+
+    // The Figure 1 workload at full scale.
+    let (papers, _) = tgdb.schema.node_type_by_name("Papers").unwrap();
+    let (ke, _) = tgdb
+        .schema
+        .outgoing_by_name(papers, "Paper_Keywords: keyword")
+        .unwrap();
+    let mut s = Session::new(&tgdb);
+    s.open_by_name("Papers").unwrap();
+    s.filter(NodeFilter::atom(FilterAtom::NeighborLabelLike {
+        edge: ke,
+        pattern: "%user%".into(),
+    }))
+    .unwrap();
+    s.pivot("Conferences").unwrap();
+    s.filter(NodeFilter::cmp("acronym", CmpOp::Eq, "SIGMOD"))
+        .unwrap();
+    s.pivot("Papers").unwrap();
+    let t = s.etable().unwrap();
+    assert!(t.len() > 100, "only {} SIGMOD 'user' papers", t.len());
+    // Interactive latency: re-execution from cache is instant; even the
+    // cold path must stay comfortably interactive.
+    let start = std::time::Instant::now();
+    let _ = s.etable().unwrap();
+    assert!(
+        start.elapsed().as_millis() < 2_000,
+        "cached re-render took {:?}",
+        start.elapsed()
+    );
+}

@@ -1,0 +1,259 @@
+//! Property-based cross-crate invariants: randomly generated query
+//! patterns are executed three ways — full graph-relation materialization
+//! (Definition 4), decomposed Yannakakis matching, and translated SQL over
+//! the original relational database — and must agree.
+
+use etable_repro::core::matching::{match_full, match_primary};
+use etable_repro::core::ops;
+use etable_repro::core::pattern::{NodeFilter, PatternNodeId, QueryPattern};
+use etable_repro::core::sql_translate::to_primary_sql;
+use etable_repro::datagen::{generate, GenConfig};
+use etable_repro::relational::database::Database;
+use etable_repro::relational::expr::CmpOp;
+use etable_repro::relational::value::{DataType, Value};
+use etable_repro::tgm::{translate, NodeTypeKind, Tgdb, TranslateOptions};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::sync::OnceLock;
+
+fn env() -> &'static (Database, Tgdb) {
+    static ENV: OnceLock<(Database, Tgdb)> = OnceLock::new();
+    ENV.get_or_init(|| {
+        let db = generate(&GenConfig::small());
+        let tgdb = translate(&db, &TranslateOptions::default()).unwrap();
+        (db, tgdb)
+    })
+}
+
+/// Builds a random but always-valid query pattern by replaying random
+/// Initiate/Select/Add/Shift operators.
+fn random_pattern(tgdb: &Tgdb, seed: u64, steps: usize) -> QueryPattern {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let entities = tgdb.schema.entity_types();
+    let (start, _) = entities[rng.gen_range(0..entities.len())];
+    let mut q = ops::initiate(tgdb, start).unwrap();
+    for _ in 0..steps {
+        match rng.gen_range(0..3) {
+            0 => {
+                // Add a random outgoing edge (if the pattern stays small).
+                if q.len() >= 5 {
+                    continue;
+                }
+                let outgoing = tgdb.schema.outgoing(q.primary_node().node_type);
+                if outgoing.is_empty() {
+                    continue;
+                }
+                let (et, _) = outgoing[rng.gen_range(0..outgoing.len())];
+                q = ops::add(tgdb, &q, et).unwrap();
+            }
+            1 => {
+                // Random filter on the primary node.
+                let nt = tgdb.schema.node_type(q.primary_node().node_type);
+                let attr = &nt.attrs[rng.gen_range(0..nt.attrs.len())];
+                let filter = match attr.data_type {
+                    DataType::Int => {
+                        let op = [CmpOp::Gt, CmpOp::Le, CmpOp::Ge][rng.gen_range(0..3)];
+                        // Plausible ranges for ids/years/pages.
+                        let v = if attr.name == "year" {
+                            rng.gen_range(2000..2016)
+                        } else {
+                            rng.gen_range(0..400)
+                        };
+                        NodeFilter::cmp(&attr.name, op, v)
+                    }
+                    _ => {
+                        let letter = (b'a' + rng.gen_range(0..26u8)) as char;
+                        NodeFilter::like(&attr.name, format!("%{letter}%"))
+                    }
+                };
+                q = ops::select(tgdb, &q, filter).unwrap();
+            }
+            _ => {
+                // Shift to a random participating node.
+                let target = PatternNodeId(rng.gen_range(0..q.len()));
+                q = ops::shift(&q, target).unwrap();
+            }
+        }
+    }
+    // Value-node primaries are valid but make key comparison trivial;
+    // prefer shifting back to an entity occurrence when one exists.
+    if tgdb.schema.node_type(q.primary_node().node_type).kind != NodeTypeKind::Entity {
+        if let Some(id) = q.node_ids().find(|&id| {
+            tgdb.schema.node_type(q.node(id).node_type).kind == NodeTypeKind::Entity
+        }) {
+            q = ops::shift(&q, id).unwrap();
+        }
+    }
+    q
+}
+
+/// Primary-node keys from an ETable execution.
+fn pattern_keys(tgdb: &Tgdb, q: &QueryPattern, rows: &[etable_repro::tgm::NodeId]) -> BTreeSet<String> {
+    let nt = tgdb.schema.node_type(q.primary_node().node_type);
+    rows.iter()
+        .map(|&n| {
+            let node = tgdb.instances.node(n);
+            match nt.attr_index("id") {
+                Some(i) => node.values[i].to_string(),
+                None => node.values[0].to_string(),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn decomposed_equals_full_on_every_projection(seed in 0u64..10_000, steps in 1usize..7) {
+        let (_, tgdb) = env();
+        let q = random_pattern(tgdb, seed, steps);
+        let full = match_full(tgdb, &q).unwrap();
+        let prim = match_primary(tgdb, &q).unwrap();
+        for id in q.node_ids() {
+            let mut a: Vec<_> = full.distinct_nodes(id).unwrap();
+            let mut b = prim.allowed[id.0].clone();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b, "projection mismatch at {} (seed {})", id, seed);
+        }
+    }
+
+    #[test]
+    fn sql_translation_matches_pattern_execution(seed in 0u64..10_000, steps in 1usize..7) {
+        let (db, tgdb) = env();
+        let q = random_pattern(tgdb, seed, steps);
+        let m = match_primary(tgdb, &q).unwrap();
+        let expected = pattern_keys(tgdb, &q, m.rows());
+        let sql = to_primary_sql(tgdb, db, &q).unwrap();
+        let mut db2 = db.clone();
+        let rel = etable_repro::relational::sql::execute(&mut db2, &sql).unwrap();
+        let got: BTreeSet<String> = rel.rows.iter().map(|r| r[0].to_string()).collect();
+        prop_assert_eq!(expected, got, "SQL mismatch for seed {}: {}", seed, sql);
+    }
+
+    #[test]
+    fn related_sets_are_consistent_with_full_join(seed in 0u64..10_000, steps in 1usize..6) {
+        // For each matched primary row and participating node, the
+        // decomposed `related()` walk equals the projection of the full
+        // graph relation restricted to that row.
+        let (_, tgdb) = env();
+        let q = random_pattern(tgdb, seed, steps);
+        let full = match_full(tgdb, &q).unwrap();
+        let prim = match_primary(tgdb, &q).unwrap();
+        let ppos = full.attr_pos(q.primary).unwrap();
+        // Check a sample of rows to bound runtime.
+        for &row in prim.rows().iter().take(5) {
+            for id in q.node_ids() {
+                if id == q.primary { continue; }
+                let tpos = full.attr_pos(id).unwrap();
+                let mut expected: Vec<_> = full
+                    .tuples
+                    .iter()
+                    .filter(|t| t[ppos] == row)
+                    .map(|t| t[tpos])
+                    .collect();
+                expected.sort();
+                expected.dedup();
+                let mut got = prim.related(tgdb, row, id).unwrap();
+                got.sort();
+                prop_assert_eq!(expected, got, "row-scoped mismatch at {} (seed {})", id, seed);
+            }
+        }
+    }
+
+    #[test]
+    fn transformation_rows_are_distinct_primary_nodes(seed in 0u64..10_000, steps in 1usize..6) {
+        let (_, tgdb) = env();
+        let q = random_pattern(tgdb, seed, steps);
+        let t = etable_repro::core::transform::execute(tgdb, &q).unwrap();
+        let mut nodes: Vec<_> = t.rows.iter().map(|r| r.node).collect();
+        let before = nodes.len();
+        nodes.sort();
+        nodes.dedup();
+        prop_assert_eq!(before, nodes.len(), "duplicate rows for seed {}", seed);
+        // Every row's node has the primary type.
+        for n in nodes {
+            prop_assert_eq!(
+                tgdb.instances.type_of(n),
+                q.primary_node().node_type
+            );
+        }
+    }
+}
+
+#[test]
+fn like_match_agrees_with_naive_reference() {
+    // Reference implementation: recursive descent.
+    fn naive(t: &[char], p: &[char]) -> bool {
+        match (t.first(), p.first()) {
+            (_, None) => t.is_empty(),
+            (_, Some('%')) => naive(t, &p[1..]) || (!t.is_empty() && naive(&t[1..], p)),
+            (Some(tc), Some('_')) => {
+                let _ = tc;
+                naive(&t[1..], &p[1..])
+            }
+            (Some(tc), Some(pc)) => {
+                tc.eq_ignore_ascii_case(pc) && naive(&t[1..], &p[1..])
+            }
+            (None, Some(_)) => false,
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..4000 {
+        let tlen = rng.gen_range(0..10);
+        let plen = rng.gen_range(0..8);
+        let text: String = (0..tlen)
+            .map(|_| ['a', 'b', 'A', 'c'][rng.gen_range(0..4)])
+            .collect();
+        let pattern: String = (0..plen)
+            .map(|_| ['a', 'b', '%', '_', 'c'][rng.gen_range(0..5)])
+            .collect();
+        let tc: Vec<char> = text.to_lowercase().chars().collect();
+        let pc: Vec<char> = pattern.to_lowercase().chars().collect();
+        assert_eq!(
+            etable_repro::relational::expr::like_match(&text, &pattern),
+            naive(&tc, &pc),
+            "text={text:?} pattern={pattern:?}"
+        );
+    }
+}
+
+#[test]
+fn random_filters_never_crash_value_comparisons() {
+    // Fuzz Value comparison total order: antisymmetry and transitivity on
+    // random triples.
+    let mut rng = StdRng::seed_from_u64(5);
+    let rand_value = |rng: &mut StdRng| -> Value {
+        match rng.gen_range(0..5) {
+            0 => Value::Null,
+            1 => Value::Int(rng.gen_range(-5..5)),
+            2 => Value::Float(rng.gen_range(-3.0..3.0)),
+            3 => Value::Text(
+                (0..rng.gen_range(0..3))
+                    .map(|_| (b'a' + rng.gen_range(0..3u8)) as char)
+                    .collect(),
+            ),
+            _ => Value::Bool(rng.gen_range(0..2) == 1),
+        }
+    };
+    for _ in 0..5000 {
+        let a = rand_value(&mut rng);
+        let b = rand_value(&mut rng);
+        let c = rand_value(&mut rng);
+        // Antisymmetry.
+        assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        // Transitivity (on <=).
+        if a.total_cmp(&b) != std::cmp::Ordering::Greater
+            && b.total_cmp(&c) != std::cmp::Ordering::Greater
+        {
+            assert_ne!(
+                a.total_cmp(&c),
+                std::cmp::Ordering::Greater,
+                "{a:?} {b:?} {c:?}"
+            );
+        }
+    }
+}
