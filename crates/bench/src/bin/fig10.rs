@@ -9,7 +9,10 @@ fn main() {
     let (_, tgdb) = etable_bench::default_dataset();
     let results = run_study(&tgdb, &StudyConfig::default());
     println!("{}", results.render_figure10());
-    println!("\n== §7.2 variance observation ==\n{}", results.variance_summary());
+    println!(
+        "\n== §7.2 variance observation ==\n{}",
+        results.variance_summary()
+    );
     println!("\npaper's reported means for reference (sec):");
     println!("  ETable : 34.9  39.5  57.2  150.5  59.0  104.8");
     println!("  Navicat: 53.2  54.4  92.3  218.5  231.6  198.5");

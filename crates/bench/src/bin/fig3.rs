@@ -19,5 +19,9 @@ fn main() {
             fk_total += 1;
         }
     }
-    println!("\n{} relations, {} foreign keys", db.table_names().len(), fk_total);
+    println!(
+        "\n{} relations, {} foreign keys",
+        db.table_names().len(),
+        fk_total
+    );
 }

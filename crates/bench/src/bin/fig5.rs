@@ -25,8 +25,7 @@ fn main() {
             // institutions behind authors.
             if type_name == "Authors" {
                 let (authors, _) = tgdb.schema.node_type_by_name("Authors").unwrap();
-                if let Some((inst_edge, _)) =
-                    tgdb.schema.outgoing_by_name(authors, "Institutions")
+                if let Some((inst_edge, _)) = tgdb.schema.outgoing_by_name(authors, "Institutions")
                 {
                     for &i in tgdb.instances.neighbors(inst_edge, n).iter().take(1) {
                         println!(

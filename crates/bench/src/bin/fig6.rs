@@ -31,7 +31,10 @@ fn main() {
 
     println!("== Figure 6: query pattern (primary node marked *) ==\n");
     println!("{}", q.diagram(&tgdb));
-    println!("§8 SQL pattern:\n  {}", sql_translate::to_sql(&tgdb, &db, &q).unwrap());
+    println!(
+        "§8 SQL pattern:\n  {}",
+        sql_translate::to_sql(&tgdb, &db, &q).unwrap()
+    );
     println!(
         "\nexecutable primary-key query:\n  {}",
         sql_translate::to_primary_sql(&tgdb, &db, &q).unwrap()

@@ -76,10 +76,7 @@ impl<'a> Engine<'a> {
             }
             Command::FilterRef { column, pattern } => {
                 // Resolve the column to an edge type of the primary.
-                let q = self
-                    .session
-                    .current_pattern()
-                    .ok_or("no table is open")?;
+                let q = self.session.current_pattern().ok_or("no table is open")?;
                 let primary_ty = q.primary_node().node_type;
                 let (edge, _) = self
                     .tgdb
@@ -142,10 +139,7 @@ impl<'a> Engine<'a> {
             }
             Command::ShowTable(limit) => self.render_current(limit),
             Command::Schema => {
-                let q = self
-                    .session
-                    .current_pattern()
-                    .ok_or("no table is open")?;
+                let q = self.session.current_pattern().ok_or("no table is open")?;
                 Ok(q.diagram(self.tgdb))
             }
             Command::History => {
@@ -159,33 +153,30 @@ impl<'a> Engine<'a> {
                 Ok(lines.join("\n"))
             }
             Command::Sql => {
-                let q = self
-                    .session
-                    .current_pattern()
-                    .ok_or("no table is open")?;
-                let display = sql_translate::to_sql(self.tgdb, self.db, q)
-                    .map_err(|e| e.to_string())?;
+                let q = self.session.current_pattern().ok_or("no table is open")?;
+                let display =
+                    sql_translate::to_sql(self.tgdb, self.db, q).map_err(|e| e.to_string())?;
                 let exec = sql_translate::to_primary_sql(self.tgdb, self.db, q)
                     .map_err(|e| e.to_string())?;
                 Ok(format!("{display}\n-- primary keys:\n{exec}"))
             }
             Command::Explain => {
-                let q = self
-                    .session
-                    .current_pattern()
-                    .ok_or("no table is open")?;
+                let q = self.session.current_pattern().ok_or("no table is open")?;
                 let sql = sql_translate::to_primary_sql(self.tgdb, self.db, q)
                     .map_err(|e| e.to_string())?;
                 let mut db = self.db.clone();
-                let rel =
-                    etable_relational::sql::execute(&mut db, &format!("EXPLAIN {sql}"))
-                        .map_err(|e| e.to_string())?;
-                let lines: Vec<String> =
-                    rel.rows.iter().map(|r| r[0].to_string()).collect();
-                Ok(format!("{sql}
+                let rel = etable_relational::sql::execute(&mut db, &format!("EXPLAIN {sql}"))
+                    .map_err(|e| e.to_string())?;
+                let lines: Vec<String> = rel.rows.iter().map(|r| r[0].to_string()).collect();
+                Ok(format!(
+                    "{sql}
 --
-{}", lines.join("
-")))
+{}",
+                    lines.join(
+                        "
+"
+                    )
+                ))
             }
             Command::Export(format) => {
                 let t = self.session.etable().map_err(|e| e.to_string())?;
@@ -206,7 +197,12 @@ impl<'a> Engine<'a> {
         Ok(render_etable(&t, &opts))
     }
 
-    fn resolve_ref(&mut self, row: usize, column: &str, index: usize) -> Result<etable_tgm::NodeId, String> {
+    fn resolve_ref(
+        &mut self,
+        row: usize,
+        column: &str,
+        index: usize,
+    ) -> Result<etable_tgm::NodeId, String> {
         let t = self.session.etable().map_err(|e| e.to_string())?;
         let r = t
             .rows
@@ -218,9 +214,13 @@ impl<'a> Engine<'a> {
         let refs = r.cells[ci]
             .refs()
             .ok_or_else(|| format!("column `{column}` holds plain values, not references"))?;
-        refs.get(index.checked_sub(1).ok_or("references are numbered from 1")?)
-            .map(|e| e.node)
-            .ok_or_else(|| format!("cell has only {} reference(s)", refs.len()))
+        refs.get(
+            index
+                .checked_sub(1)
+                .ok_or("references are numbered from 1")?,
+        )
+        .map(|e| e.node)
+        .ok_or_else(|| format!("cell has only {} reference(s)", refs.len()))
     }
 }
 
@@ -313,10 +313,7 @@ mod tests {
 
     #[test]
     fn filter_ref_is_the_keyword_subquery() {
-        let out = run(&[
-            "open Papers",
-            "filter-ref 'Paper_Keywords: keyword' %user%",
-        ]);
+        let out = run(&["open Papers", "filter-ref 'Paper_Keywords: keyword' %user%"]);
         assert!(out[1].is_ok(), "{:?}", out[1]);
         let text = out[1].as_ref().unwrap();
         assert!(text.contains("filtered by"), "{text}");
@@ -339,20 +336,23 @@ mod tests {
     #[test]
     fn export_formats() {
         let out = run(&["open Conferences", "export json", "export csv"]);
-        assert!(out[1].as_ref().unwrap().starts_with("{\"primary\":\"Conferences\""));
+        assert!(out[1]
+            .as_ref()
+            .unwrap()
+            .starts_with("{\"primary\":\"Conferences\""));
         assert!(out[2].as_ref().unwrap().starts_with("id,acronym,title"));
     }
 
     #[test]
     fn errors_are_messages_not_panics() {
         let out = run(&[
-            "pivot Authors",      // nothing open
-            "open Nope",          // unknown table
+            "pivot Authors", // nothing open
+            "open Nope",     // unknown table
             "open Papers",
-            "filter nope = 3",    // unknown attribute
-            "pivot year",         // base column
+            "filter nope = 3",     // unknown attribute
+            "pivot year",          // base column
             "seeall 9999 Authors", // bad row
-            "single 1 title 1",   // atomic column
+            "single 1 title 1",    // atomic column
             "gibberish",
         ]);
         for (i, r) in out.iter().enumerate() {

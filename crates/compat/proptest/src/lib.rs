@@ -1,0 +1,280 @@
+//! Offline stand-in for the subset of crates.io `proptest` 1.x this
+//! workspace uses: the `proptest!` macro over integer-range strategies,
+//! `ProptestConfig::with_cases`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Each test case deterministically samples its strategies from a stream
+//! keyed on the test name and case index, so failures are reproducible
+//! run-to-run. There is no shrinking: a failure reports the exact sampled
+//! inputs instead so the case can be replayed by hand.
+//! See `crates/compat/README.md` for the replacement policy.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Test-runner configuration and failure plumbing, mirroring
+/// `proptest::test_runner`.
+pub mod test_runner {
+    /// How the generated test loop behaves.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases each property is exercised with.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// A failed property, carried out of the case body by
+    /// `prop_assert!`-family macros.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Wraps a failure message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+/// Value generation, mirroring (a sliver of) `proptest::strategy`.
+pub mod strategy {
+    use std::ops::{Range, RangeInclusive};
+
+    /// The deterministic sampler threaded through a property's cases.
+    #[derive(Debug, Clone)]
+    pub struct Sampler {
+        state: u64,
+    }
+
+    impl Sampler {
+        /// A sampler keyed on `(test name, case index)`.
+        pub fn new(test_name: &str, case: u32) -> Self {
+            // FNV-1a over the name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in test_name.bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x1_0000_0000_01b3);
+            }
+            Sampler {
+                state: h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            }
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// A source of values for one `name in strategy` binding.
+    pub trait Strategy {
+        /// The type of value produced.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, sampler: &mut Sampler) -> Self::Value;
+    }
+
+    macro_rules! impl_strategy_for_int_ranges {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, sampler: &mut Sampler) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let draw = ((sampler.next_u64() as u128) % span) as i128;
+                    (self.start as i128 + draw) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, sampler: &mut Sampler) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    let draw = ((sampler.next_u64() as u128) % span) as i128;
+                    (lo as i128 + draw) as $t
+                }
+            }
+        )+};
+    }
+
+    impl_strategy_for_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines deterministic property tests over range strategies, mirroring
+/// `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::strategy::Strategy as _;
+                let config: $crate::test_runner::Config = $config;
+                for case in 0..config.cases {
+                    let mut sampler =
+                        $crate::strategy::Sampler::new(stringify!($name), case);
+                    $(let $arg = ($strategy).sample(&mut sampler);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(err) = outcome {
+                        panic!(
+                            "proptest case {case} of {total} failed: {err}\n  inputs: {inputs}",
+                            case = case,
+                            total = config.cases,
+                            err = err,
+                            inputs = [$(format!("{} = {:?}", stringify!($arg), $arg)),+]
+                                .join(", "),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// `assert!` that reports through the proptest failure channel.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest failure channel.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{:?}` != `{:?}`: {}",
+                    left, right, format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest failure channel.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn samples_stay_in_bounds(a in 0u64..100, b in 1usize..7) {
+            prop_assert!(a < 100);
+            prop_assert!((1..7).contains(&b));
+        }
+
+        #[test]
+        fn assert_eq_passes_on_equal(a in 0i64..50) {
+            prop_assert_eq!(a, a, "identity must hold for {}", a);
+            prop_assert_ne!(a, a + 1);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name_and_case() {
+        use crate::strategy::{Sampler, Strategy};
+        let draw = |case| (0u64..1_000_000).sample(&mut Sampler::new("t", case));
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+
+    #[test]
+    fn failure_reports_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            crate::proptest! {
+                #![proptest_config(crate::test_runner::Config::with_cases(4))]
+                fn always_fails(x in 0u64..10) {
+                    crate::prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        let err = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(err.contains("inputs: x ="), "message was: {err}");
+    }
+}

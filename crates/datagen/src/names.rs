@@ -11,7 +11,10 @@ pub const CONFERENCES: &[(&str, &str)] = &[
     ("SIGMOD", "International Conference on Management of Data"),
     ("VLDB", "International Conference on Very Large Data Bases"),
     ("ICDE", "International Conference on Data Engineering"),
-    ("EDBT", "International Conference on Extending Database Technology"),
+    (
+        "EDBT",
+        "International Conference on Extending Database Technology",
+    ),
     ("PODS", "Symposium on Principles of Database Systems"),
     ("CIDR", "Conference on Innovative Data Systems Research"),
     ("KDD", "Conference on Knowledge Discovery and Data Mining"),
@@ -20,10 +23,16 @@ pub const CONFERENCES: &[(&str, &str)] = &[
     ("WSDM", "Conference on Web Search and Data Mining"),
     ("CIKM", "Conference on Information and Knowledge Management"),
     ("WWW", "The Web Conference"),
-    ("SIGIR", "Conference on Research and Development in Information Retrieval"),
+    (
+        "SIGIR",
+        "Conference on Research and Development in Information Retrieval",
+    ),
     ("RecSys", "Conference on Recommender Systems"),
     ("CHI", "Conference on Human Factors in Computing Systems"),
-    ("UIST", "Symposium on User Interface Software and Technology"),
+    (
+        "UIST",
+        "Symposium on User Interface Software and Technology",
+    ),
     ("CSCW", "Conference on Computer-Supported Cooperative Work"),
     ("IUI", "Conference on Intelligent User Interfaces"),
     ("AVI", "Conference on Advanced Visual Interfaces"),
@@ -86,53 +95,190 @@ pub const FIRST_NAMES: &[&str] = &[
 
 /// Family-name pool for author generation.
 pub const LAST_NAMES: &[&str] = &[
-    "Madden", "Smith", "Johnson", "Lee", "Kim", "Park", "Chen", "Wang", "Zhang", "Liu",
-    "Garcia", "Martinez", "Brown", "Davis", "Miller", "Wilson", "Taylor", "Anderson", "Thomas",
-    "Moore", "Jackson", "Martin", "Thompson", "White", "Lopez", "Gonzalez", "Harris", "Clark",
-    "Lewis", "Walker", "Hall", "Young", "King", "Wright", "Scott", "Nandi", "Jagadish",
-    "Halevy", "Widom", "Stonebraker", "DeWitt", "Abadi", "Kraska", "Franklin", "Hellerstein",
-    "Suciu", "Koudas", "Srivastava", "Ioannidis", "Gehrke",
+    "Madden",
+    "Smith",
+    "Johnson",
+    "Lee",
+    "Kim",
+    "Park",
+    "Chen",
+    "Wang",
+    "Zhang",
+    "Liu",
+    "Garcia",
+    "Martinez",
+    "Brown",
+    "Davis",
+    "Miller",
+    "Wilson",
+    "Taylor",
+    "Anderson",
+    "Thomas",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Thompson",
+    "White",
+    "Lopez",
+    "Gonzalez",
+    "Harris",
+    "Clark",
+    "Lewis",
+    "Walker",
+    "Hall",
+    "Young",
+    "King",
+    "Wright",
+    "Scott",
+    "Nandi",
+    "Jagadish",
+    "Halevy",
+    "Widom",
+    "Stonebraker",
+    "DeWitt",
+    "Abadi",
+    "Kraska",
+    "Franklin",
+    "Hellerstein",
+    "Suciu",
+    "Koudas",
+    "Srivastava",
+    "Ioannidis",
+    "Gehrke",
 ];
 
 /// Title vocabulary: adjective/verb-ish openers.
 pub const TITLE_HEADS: &[&str] = &[
-    "Efficient", "Scalable", "Interactive", "Adaptive", "Incremental", "Distributed",
-    "Approximate", "Robust", "Fast", "Parallel", "Declarative", "Automatic", "Learned",
-    "Probabilistic", "Streaming", "Online", "Visual", "Usable", "Collaborative", "Guided",
+    "Efficient",
+    "Scalable",
+    "Interactive",
+    "Adaptive",
+    "Incremental",
+    "Distributed",
+    "Approximate",
+    "Robust",
+    "Fast",
+    "Parallel",
+    "Declarative",
+    "Automatic",
+    "Learned",
+    "Probabilistic",
+    "Streaming",
+    "Online",
+    "Visual",
+    "Usable",
+    "Collaborative",
+    "Guided",
 ];
 
 /// Title vocabulary: subjects.
 pub const TITLE_SUBJECTS: &[&str] = &[
-    "query processing", "data exploration", "join optimization", "schema matching",
-    "entity resolution", "crowdsourcing", "data cleaning", "indexing", "query suggestion",
-    "keyword search", "data integration", "provenance tracking", "graph analytics",
-    "recommendation", "clustering", "classification", "anomaly detection", "data visualization",
-    "user interfaces", "spreadsheet interfaces", "natural language querying",
-    "sampling", "caching", "view maintenance", "transaction processing", "concurrency control",
+    "query processing",
+    "data exploration",
+    "join optimization",
+    "schema matching",
+    "entity resolution",
+    "crowdsourcing",
+    "data cleaning",
+    "indexing",
+    "query suggestion",
+    "keyword search",
+    "data integration",
+    "provenance tracking",
+    "graph analytics",
+    "recommendation",
+    "clustering",
+    "classification",
+    "anomaly detection",
+    "data visualization",
+    "user interfaces",
+    "spreadsheet interfaces",
+    "natural language querying",
+    "sampling",
+    "caching",
+    "view maintenance",
+    "transaction processing",
+    "concurrency control",
 ];
 
 /// Title vocabulary: contexts.
 pub const TITLE_TAILS: &[&str] = &[
-    "in relational databases", "for large-scale systems", "over data streams",
-    "with human feedback", "on modern hardware", "in the cloud", "for interactive analytics",
-    "using machine learning", "at scale", "for scientific workflows", "in social networks",
-    "with provable guarantees", "for end users", "on heterogeneous data", "under uncertainty",
+    "in relational databases",
+    "for large-scale systems",
+    "over data streams",
+    "with human feedback",
+    "on modern hardware",
+    "in the cloud",
+    "for interactive analytics",
+    "using machine learning",
+    "at scale",
+    "for scientific workflows",
+    "in social networks",
+    "with provable guarantees",
+    "for end users",
+    "on heterogeneous data",
+    "under uncertainty",
 ];
 
 /// Keyword pool; the substring `user` appears in several entries because the
 /// paper's running example filters papers by `keyword LIKE '%user%'`.
 pub const KEYWORDS: &[&str] = &[
-    "user interfaces", "user studies", "user preferences", "user feedback", "usability",
-    "design", "human factors", "algorithms", "performance", "experimentation", "measurement",
-    "theory", "query processing", "query optimization", "data exploration", "data cleaning",
-    "data integration", "keyword search", "information retrieval", "visualization",
-    "interactive systems", "direct manipulation", "spreadsheets", "databases", "sql",
-    "schema design", "normalization", "join algorithms", "indexing", "caching",
-    "materialized views", "provenance", "crowdsourcing", "machine learning", "deep learning",
-    "clustering", "classification", "recommendation", "graph mining", "social networks",
-    "parallel databases", "distributed systems", "transactions", "concurrency",
-    "skew", "load balancing", "sampling", "approximation", "streams", "sensors",
-    "privacy", "security", "reliability", "economics", "scalability", "benchmarking",
+    "user interfaces",
+    "user studies",
+    "user preferences",
+    "user feedback",
+    "usability",
+    "design",
+    "human factors",
+    "algorithms",
+    "performance",
+    "experimentation",
+    "measurement",
+    "theory",
+    "query processing",
+    "query optimization",
+    "data exploration",
+    "data cleaning",
+    "data integration",
+    "keyword search",
+    "information retrieval",
+    "visualization",
+    "interactive systems",
+    "direct manipulation",
+    "spreadsheets",
+    "databases",
+    "sql",
+    "schema design",
+    "normalization",
+    "join algorithms",
+    "indexing",
+    "caching",
+    "materialized views",
+    "provenance",
+    "crowdsourcing",
+    "machine learning",
+    "deep learning",
+    "clustering",
+    "classification",
+    "recommendation",
+    "graph mining",
+    "social networks",
+    "parallel databases",
+    "distributed systems",
+    "transactions",
+    "concurrency",
+    "skew",
+    "load balancing",
+    "sampling",
+    "approximation",
+    "streams",
+    "sensors",
+    "privacy",
+    "security",
+    "reliability",
+    "economics",
+    "scalability",
+    "benchmarking",
 ];
 
 #[cfg(test)]
@@ -142,7 +288,9 @@ mod tests {
     #[test]
     fn pools_are_nonempty_and_planted_entities_present() {
         assert_eq!(CONFERENCES.len(), 19);
-        assert!(INSTITUTIONS.iter().any(|(n, _)| *n == "Carnegie Mellon University"));
+        assert!(INSTITUTIONS
+            .iter()
+            .any(|(n, _)| *n == "Carnegie Mellon University"));
         assert!(
             INSTITUTIONS
                 .iter()

@@ -119,10 +119,7 @@ mod tests {
     fn seven_relations_seven_fks() {
         let db = academic_schema();
         assert_eq!(db.table_names().len(), 7);
-        let fk_count: usize = db
-            .tables()
-            .map(|t| t.schema().foreign_keys.len())
-            .sum();
+        let fk_count: usize = db.tables().map(|t| t.schema().foreign_keys.len()).sum();
         assert_eq!(fk_count, 7);
     }
 

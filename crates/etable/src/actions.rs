@@ -86,10 +86,7 @@ pub fn apply(
             let name = &tgdb.schema.node_type(q.primary_node().node_type).name;
             Ok(ActionOutcome {
                 pattern,
-                description: format!(
-                    "Filter '{name}' table by ({})",
-                    filter.display_with(tgdb)
-                ),
+                description: format!("Filter '{name}' table by ({})", filter.display_with(tgdb)),
             })
         }
         UserAction::Pivot { column } => {

@@ -48,7 +48,11 @@ impl QueryCache {
 
     /// Returns the matching result for `pattern`, computing and caching it
     /// on a miss.
-    pub fn get_or_compute(&mut self, tgdb: &Tgdb, pattern: &QueryPattern) -> Result<Rc<MatchResult>> {
+    pub fn get_or_compute(
+        &mut self,
+        tgdb: &Tgdb,
+        pattern: &QueryPattern,
+    ) -> Result<Rc<MatchResult>> {
         let key = pattern.canonical_key(tgdb);
         if let Some(hit) = self.map.get(&key) {
             self.hits += 1;

@@ -57,8 +57,7 @@ pub fn rank_columns(table: &EnrichedTable) -> Vec<ColumnScore> {
                             filled += 1;
                         }
                         refs_total += refs.len();
-                        let mut labels: Vec<&str> =
-                            refs.iter().map(|r| r.label.as_str()).collect();
+                        let mut labels: Vec<&str> = refs.iter().map(|r| r.label.as_str()).collect();
                         labels.sort_unstable();
                         distinct.insert(labels.join("\u{1f}"));
                     }

@@ -129,11 +129,7 @@ fn csv_escape(s: &str) -> String {
 /// spreadsheet idiom the paper's introduction describes.
 pub fn to_csv(table: &EnrichedTable) -> String {
     let mut out = String::new();
-    let header: Vec<String> = table
-        .columns
-        .iter()
-        .map(|c| csv_escape(&c.name))
-        .collect();
+    let header: Vec<String> = table.columns.iter().map(|c| csv_escape(&c.name)).collect();
     out.push_str(&header.join(","));
     out.push('\n');
     for row in &table.rows {

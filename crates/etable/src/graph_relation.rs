@@ -60,7 +60,12 @@ impl GraphRelation {
 
     /// Selection `σ_Ci(RG)`: keeps tuples whose node bound to `attr`
     /// satisfies the filter.
-    pub fn selection(&self, tgdb: &Tgdb, attr: PatternNodeId, filter: &NodeFilter) -> Result<GraphRelation> {
+    pub fn selection(
+        &self,
+        tgdb: &Tgdb,
+        attr: PatternNodeId,
+        filter: &NodeFilter,
+    ) -> Result<GraphRelation> {
         let pos = self.attr_pos(attr)?;
         let mut tuples = Vec::new();
         for t in &self.tuples {
@@ -178,8 +183,8 @@ mod tests {
     fn base_relation_lists_filtered_nodes() {
         let tgdb = academic_tgdb();
         let (papers, _) = tgdb.schema.node_type_by_name("Papers").unwrap();
-        let all = GraphRelation::base(&tgdb, PatternNodeId(0), papers, &NodeFilter::none())
-            .unwrap();
+        let all =
+            GraphRelation::base(&tgdb, PatternNodeId(0), papers, &NodeFilter::none()).unwrap();
         assert_eq!(all.len(), 4);
         let filtered = GraphRelation::base(
             &tgdb,

@@ -48,12 +48,7 @@ impl MatchResult {
     /// The nodes related to `row` (a matched primary node) at pattern node
     /// `target`: `Π_type(target) σ_{τa = row}(m(Q))` computed by walking the
     /// unique pattern path and intersecting with the allowed sets.
-    pub fn related(
-        &self,
-        tgdb: &Tgdb,
-        row: NodeId,
-        target: PatternNodeId,
-    ) -> Result<Vec<NodeId>> {
+    pub fn related(&self, tgdb: &Tgdb, row: NodeId, target: PatternNodeId) -> Result<Vec<NodeId>> {
         let path = self.pattern.path(tgdb, self.pattern.primary, target)?;
         let mut frontier: Vec<NodeId> = vec![row];
         for (step_node, edge) in path {
@@ -382,7 +377,7 @@ mod tests {
         let q1 = ops::shift(&q1, crate::pattern::PatternNodeId(0)).unwrap();
         let m1 = match_primary(&tgdb, &q1).unwrap();
         assert_eq!(m1.rows().len(), 3); // 11, 12, 13 cite something
-        // Papers that are referenced by something.
+                                        // Papers that are referenced by something.
         let (refg, _) = tgdb
             .schema
             .outgoing_by_name(papers, "Papers (referencing)")

@@ -68,7 +68,10 @@ pub fn select_on(
     for atom in &filter.atoms {
         use crate::pattern::FilterAtom::*;
         let attr = match atom {
-            Cmp { attr, .. } | Like { attr, .. } | NotLike { attr, .. } | In { attr, .. }
+            Cmp { attr, .. }
+            | Like { attr, .. }
+            | NotLike { attr, .. }
+            | In { attr, .. }
             | IsNull { attr } => Some(attr),
             NodeIs(_) | NeighborLabelLike { .. } => None,
         };

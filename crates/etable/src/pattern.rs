@@ -189,10 +189,7 @@ fn atom_display(atom: &FilterAtom, tgdb: Option<&Tgdb>) -> String {
             None => format!("node = {n}"),
         },
         FilterAtom::NeighborLabelLike { edge, pattern } => match tgdb {
-            Some(t) => format!(
-                "{} like '{pattern}'",
-                t.schema.edge_type(*edge).name
-            ),
+            Some(t) => format!("{} like '{pattern}'", t.schema.edge_type(*edge).name),
             None => format!("{edge} label like '{pattern}'"),
         },
     }
@@ -255,16 +252,9 @@ fn eval_atom(atom: &FilterAtom, tgdb: &Tgdb, node: NodeId) -> Result<bool> {
                     tgdb.schema.node_type(tgdb.instances.type_of(node)).name
                 )));
             }
-            Ok(tgdb
-                .instances
-                .neighbors(*edge, node)
-                .iter()
-                .any(|&n| {
-                    etable_relational::expr::like_match(
-                        &tgdb.instances.label(&tgdb.schema, n),
-                        pattern,
-                    )
-                }))
+            Ok(tgdb.instances.neighbors(*edge, node).iter().any(|&n| {
+                etable_relational::expr::like_match(&tgdb.instances.label(&tgdb.schema, n), pattern)
+            }))
         }
     }
 }
@@ -335,11 +325,7 @@ impl QueryPattern {
 
     /// Edges incident to `id`, each with the neighbor and the edge type id
     /// oriented *away* from `id` (using the reverse type when necessary).
-    pub fn incident(
-        &self,
-        tgdb: &Tgdb,
-        id: PatternNodeId,
-    ) -> Vec<(PatternNodeId, EdgeTypeId)> {
+    pub fn incident(&self, tgdb: &Tgdb, id: PatternNodeId) -> Vec<(PatternNodeId, EdgeTypeId)> {
         let mut out = Vec::new();
         for e in &self.edges {
             if e.from == id {
@@ -634,8 +620,7 @@ mod tests {
 
     #[test]
     fn node_filter_helpers_compose() {
-        let f = NodeFilter::cmp("year", CmpOp::Gt, 2005)
-            .and(NodeFilter::like("title", "%user%"));
+        let f = NodeFilter::cmp("year", CmpOp::Gt, 2005).and(NodeFilter::like("title", "%user%"));
         assert_eq!(f.atoms.len(), 2);
         assert!(f.display().contains("year > 2005"));
         assert!(f.display().contains("title like '%user%'"));

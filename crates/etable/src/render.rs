@@ -157,7 +157,11 @@ pub fn render_markdown(t: &EnrichedTable, opts: &RenderOptions) -> String {
     let _ = writeln!(
         out,
         "|{}|",
-        t.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        t.columns
+            .iter()
+            .map(|_| "---")
+            .collect::<Vec<_>>()
+            .join("|")
     );
     for row in t.rows.iter().take(opts.max_rows) {
         let cells: Vec<String> = row
@@ -171,7 +175,11 @@ pub fn render_markdown(t: &EnrichedTable, opts: &RenderOptions) -> String {
                         .take(opts.max_refs)
                         .map(|r| escape(&truncate(&r.label, opts.max_label)))
                         .collect();
-                    let ellipsis = if refs.len() > opts.max_refs { "…" } else { "" };
+                    let ellipsis = if refs.len() > opts.max_refs {
+                        "…"
+                    } else {
+                        ""
+                    };
                     format!("({}) {}{}", refs.len(), shown.join(", "), ellipsis)
                 }
             })

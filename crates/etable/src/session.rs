@@ -116,12 +116,7 @@ impl<'a> Session<'a> {
 
     fn push(&mut self, action: &UserAction) -> Result<()> {
         let etable = self.raw_etable()?;
-        let outcome = apply(
-            self.tgdb,
-            self.current_pattern(),
-            etable.as_ref(),
-            action,
-        )?;
+        let outcome = apply(self.tgdb, self.current_pattern(), etable.as_ref(), action)?;
         self.history.push(HistoryStep {
             description: outcome.description,
             pattern: outcome.pattern,
@@ -277,7 +272,7 @@ mod tests {
         let after = s.etable().unwrap();
         assert_eq!(before.len(), after.len());
         assert_eq!(s.history().len(), 3); // open, filter, revert
-        // Revert re-used the cached matching of step 0.
+                                          // Revert re-used the cached matching of step 0.
         let (hits, _) = s.cache_stats();
         assert!(hits >= 1);
     }
@@ -361,9 +356,7 @@ mod tests {
         let tgdb = academic_tgdb();
         let mut s = Session::new(&tgdb);
         assert!(s.etable().is_err());
-        assert!(s
-            .filter(NodeFilter::cmp("year", CmpOp::Gt, 2000))
-            .is_err());
+        assert!(s.filter(NodeFilter::cmp("year", CmpOp::Gt, 2000)).is_err());
         assert!(s.revert(0).is_err());
     }
 }

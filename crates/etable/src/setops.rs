@@ -171,7 +171,10 @@ fn describe(tgdb: &Tgdb, q: &QueryPattern) -> String {
         }
     }
     if parts.is_empty() {
-        format!("all {}", tgdb.schema.node_type(q.primary_node().node_type).name)
+        format!(
+            "all {}",
+            tgdb.schema.node_type(q.primary_node().node_type).name
+        )
     } else {
         parts.join(" AND ")
     }

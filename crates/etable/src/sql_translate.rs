@@ -202,7 +202,11 @@ impl<'a> SqlBuilder<'a> {
                 }
                 FilterAtom::In { attr, values } => {
                     let lhs = self.repr(id)?.attr_expr(attr);
-                    let list = values.iter().map(sql_literal).collect::<Vec<_>>().join(", ");
+                    let list = values
+                        .iter()
+                        .map(sql_literal)
+                        .collect::<Vec<_>>()
+                        .join(", ");
                     format!("{lhs} IN ({list})")
                 }
                 FilterAtom::IsNull { attr } => {
@@ -252,8 +256,7 @@ impl<'a> SqlBuilder<'a> {
         let et = self.tgdb.schema.edge_type(edge);
         let owner = self.repr(id)?.clone();
         let target_nt = self.tgdb.schema.node_type(et.target);
-        let like =
-            |expr: String| format!("{expr} LIKE '{}'", like_pattern.replace('\'', "''"));
+        let like = |expr: String| format!("{expr} LIKE '{}'", like_pattern.replace('\'', "''"));
         match et.provenance.clone() {
             EdgeProvenance::ForeignKey { table, column } => {
                 let alias = format!("x{}", self.next_aux);
@@ -450,10 +453,7 @@ pub fn from_query(tgdb: &Tgdb, db: &Database, q: &Query) -> Result<QueryPattern>
     }
     let mut conjuncts: Vec<SqlExpr> = Vec::new();
     for j in &q.joins {
-        refs.push((
-            j.table.effective_alias().to_string(),
-            j.table.table.clone(),
-        ));
+        refs.push((j.table.effective_alias().to_string(), j.table.table.clone()));
         conjuncts.extend(j.on.conjuncts().into_iter().cloned());
     }
     if let Some(w) = &q.where_clause {
@@ -467,10 +467,9 @@ pub fn from_query(tgdb: &Tgdb, db: &Database, q: &Query) -> Result<QueryPattern>
         if slots.contains_key(alias) {
             return Err(Error::SqlTranslate(format!("duplicate alias `{alias}`")));
         }
-        let cat = tgdb
-            .categories
-            .get(table)
-            .ok_or_else(|| Error::SqlTranslate(format!("table `{table}` is unknown to the TGDB")))?;
+        let cat = tgdb.categories.get(table).ok_or_else(|| {
+            Error::SqlTranslate(format!("table `{table}` is unknown to the TGDB"))
+        })?;
         match cat {
             etable_tgm::RelationCategory::Entity => {
                 let (nt, _) = tgdb
@@ -590,8 +589,16 @@ pub fn from_query(tgdb: &Tgdb, db: &Database, q: &Query) -> Result<QueryPattern>
     // FK joins between entity slots -> FK edges (try both orientations).
     let mut edges: Vec<PatternEdge> = Vec::new();
     for (alias_a, col_a, alias_b, col_b) in &fk_joins {
-        let (Some(Slot::Entity { table: ta, node: na }), Some(Slot::Entity { table: tb, node: nb })) =
-            (slots.get(alias_a), slots.get(alias_b))
+        let (
+            Some(Slot::Entity {
+                table: ta,
+                node: na,
+            }),
+            Some(Slot::Entity {
+                table: tb,
+                node: nb,
+            }),
+        ) = (slots.get(alias_a), slots.get(alias_b))
         else {
             return Err(Error::SqlTranslate(format!(
                 "FK join on non-entity aliases `{alias_a}`/`{alias_b}`"
@@ -894,7 +901,9 @@ fn bind_mva(slots: &mut BTreeMap<String, Slot>, alias: &str, entity: usize) -> R
             *owner_bind = Some(entity);
             Ok(())
         }
-        _ => Err(Error::SqlTranslate(format!("`{alias}` is not an MVA table"))),
+        _ => Err(Error::SqlTranslate(format!(
+            "`{alias}` is not an MVA table"
+        ))),
     }
 }
 
@@ -1058,17 +1067,12 @@ mod tests {
         let pattern = from_sql(&tgdb, &db, sql).unwrap();
         assert_eq!(pattern.len(), 3); // Papers, Authors, Conferences
         assert_eq!(
-            tgdb.schema
-                .node_type(pattern.primary_node().node_type)
-                .name,
+            tgdb.schema.node_type(pattern.primary_node().node_type).name,
             "Papers"
         );
         // SIGMOD papers with authors: 10 and 11.
         let keys = pattern_keys(&tgdb, &pattern);
-        assert_eq!(
-            keys,
-            ["10", "11"].iter().map(|s| s.to_string()).collect()
-        );
+        assert_eq!(keys, ["10", "11"].iter().map(|s| s.to_string()).collect());
     }
 
     #[test]

@@ -127,7 +127,11 @@ pub fn academic_db() -> Database {
             "Institutions",
             vec![
                 vec![1.into(), "Univ. of Michigan".into(), "USA".into()],
-                vec![2.into(), "Seoul National Univ.".into(), "South Korea".into()],
+                vec![
+                    2.into(),
+                    "Seoul National Univ.".into(),
+                    "South Korea".into(),
+                ],
                 vec![3.into(), "Univ. of Washington".into(), "USA".into()],
             ],
         ),
@@ -150,7 +154,12 @@ pub fn academic_db() -> Database {
                     2007.into(),
                 ],
                 vec![11.into(), 1.into(), "SkewTune".into(), 2012.into()],
-                vec![12.into(), 2.into(), "Guided interaction".into(), 2011.into()],
+                vec![
+                    12.into(),
+                    2.into(),
+                    "Guided interaction".into(),
+                    2011.into(),
+                ],
                 vec![13.into(), 2.into(), "Deep stuff".into(), 2014.into()],
             ],
         ),

@@ -158,17 +158,21 @@ impl Relation {
     /// Equi-join on `self[left_col] = other[right_col]` using a hash join.
     ///
     /// Output columns are `self.columns ++ other.columns`.
-    pub fn hash_join(&self, other: &Relation, left_col: usize, right_col: usize) -> Result<Relation> {
+    pub fn hash_join(
+        &self,
+        other: &Relation,
+        left_col: usize,
+        right_col: usize,
+    ) -> Result<Relation> {
         if left_col >= self.columns.len() || right_col >= other.columns.len() {
             return Err(Error::Eval("join column out of range".into()));
         }
         // Build on the smaller side.
-        let (build, probe, build_col, probe_col, build_is_left) =
-            if self.len() <= other.len() {
-                (self, other, left_col, right_col, true)
-            } else {
-                (other, self, right_col, left_col, false)
-            };
+        let (build, probe, build_col, probe_col, build_is_left) = if self.len() <= other.len() {
+            (self, other, left_col, right_col, true)
+        } else {
+            (other, self, right_col, left_col, false)
+        };
         let mut index: HashMap<&Value, Vec<usize>> = HashMap::new();
         for (i, r) in build.rows.iter().enumerate() {
             if !r[build_col].is_null() {
@@ -529,14 +533,8 @@ mod tests {
 
     #[test]
     fn hash_join_matches_nested_loop() {
-        let left = rel(
-            &["id"],
-            (0..20).map(|i| vec![Value::Int(i % 5)]).collect(),
-        );
-        let right = rel(
-            &["fk"],
-            (0..10).map(|i| vec![Value::Int(i % 3)]).collect(),
-        );
+        let left = rel(&["id"], (0..20).map(|i| vec![Value::Int(i % 5)]).collect());
+        let right = rel(&["fk"], (0..10).map(|i| vec![Value::Int(i % 3)]).collect());
         let h = left.hash_join(&right, 0, 0).unwrap();
         let n = left
             .nl_join(&right, &Expr::col(0).eq(Expr::col(1)))

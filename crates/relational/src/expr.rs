@@ -240,7 +240,11 @@ impl Expr {
                         None => saw_null = true,
                     }
                 }
-                Ok(if saw_null { Truth::Unknown } else { Truth::False })
+                Ok(if saw_null {
+                    Truth::Unknown
+                } else {
+                    Truth::False
+                })
             }
             Expr::IsNull(e) => Ok(Truth::from_option(Some(e.eval_value(row)?.is_null()))),
             Expr::And(a, b) => Ok(a.eval_truth(row)?.and(b.eval_truth(row)?)),
@@ -268,11 +272,9 @@ impl Expr {
         match self {
             Expr::Column(i) => Expr::Column(f(*i)),
             Expr::Literal(v) => Expr::Literal(v.clone()),
-            Expr::Cmp(op, a, b) => Expr::Cmp(
-                *op,
-                Box::new(a.map_columns(f)),
-                Box::new(b.map_columns(f)),
-            ),
+            Expr::Cmp(op, a, b) => {
+                Expr::Cmp(*op, Box::new(a.map_columns(f)), Box::new(b.map_columns(f)))
+            }
             Expr::Like(e, p) => Expr::Like(Box::new(e.map_columns(f)), p.clone()),
             Expr::InList(e, l) => Expr::InList(Box::new(e.map_columns(f)), l.clone()),
             Expr::IsNull(e) => Expr::IsNull(Box::new(e.map_columns(f))),
@@ -410,9 +412,7 @@ mod tests {
         assert_eq!(e.eval_truth(&row).unwrap(), Truth::Unknown);
         assert!(!e.matches(&row).unwrap());
         // NULL OR TRUE = TRUE
-        let e = Expr::col(0)
-            .eq(Expr::lit(1))
-            .or(Expr::lit(true));
+        let e = Expr::col(0).eq(Expr::lit(1)).or(Expr::lit(true));
         assert!(e.matches(&row).unwrap());
         // NOT UNKNOWN = UNKNOWN
         let e = Expr::col(0).eq(Expr::lit(1)).not();
@@ -446,7 +446,9 @@ mod tests {
 
     #[test]
     fn referenced_columns_dedup() {
-        let e = Expr::col(2).eq(Expr::col(0)).and(Expr::col(2).gt(Expr::lit(1)));
+        let e = Expr::col(2)
+            .eq(Expr::col(0))
+            .and(Expr::col(2).gt(Expr::lit(1)));
         assert_eq!(e.referenced_columns(), vec![0, 2]);
     }
 
@@ -458,7 +460,9 @@ mod tests {
 
     #[test]
     fn display_readable() {
-        let e = Expr::col(0).ge(Expr::lit(2005)).and(Expr::col(1).like("%Korea%"));
+        let e = Expr::col(0)
+            .ge(Expr::lit(2005))
+            .and(Expr::col(1).like("%Korea%"));
         assert_eq!(e.to_string(), "(#0 >= 2005 AND #1 LIKE '%Korea%')");
     }
 }

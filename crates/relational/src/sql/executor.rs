@@ -399,10 +399,7 @@ pub(crate) fn resolve_row_expr(e: &SqlExpr, rel: &Relation) -> Result<Expr> {
             Box::new(resolve_row_expr(a, rel)?),
             p.clone(),
         )))),
-        SqlExpr::InList(a, l) => Ok(Expr::InList(
-            Box::new(resolve_row_expr(a, rel)?),
-            l.clone(),
-        )),
+        SqlExpr::InList(a, l) => Ok(Expr::InList(Box::new(resolve_row_expr(a, rel)?), l.clone())),
         SqlExpr::IsNull(a) => Ok(Expr::IsNull(Box::new(resolve_row_expr(a, rel)?))),
         SqlExpr::IsNotNull(a) => Ok(Expr::Not(Box::new(Expr::IsNull(Box::new(
             resolve_row_expr(a, rel)?,
@@ -922,7 +919,10 @@ mod tests {
         let r = execute(&mut d, "SELECT MIN(year), MAX(year), AVG(year) FROM Papers").unwrap();
         assert_eq!(r.rows[0][0], Value::Int(2007));
         assert_eq!(r.rows[0][1], Value::Int(2014));
-        assert_eq!(r.rows[0][2], Value::Float((2007 + 2012 + 2014) as f64 / 3.0));
+        assert_eq!(
+            r.rows[0][2],
+            Value::Float((2007 + 2012 + 2014) as f64 / 3.0)
+        );
     }
 
     #[test]
@@ -981,11 +981,7 @@ mod tests {
     fn limit_offset_paginate() {
         let mut d = db();
         let page1 = execute(&mut d, "SELECT id FROM Papers ORDER BY id LIMIT 2").unwrap();
-        let page2 = execute(
-            &mut d,
-            "SELECT id FROM Papers ORDER BY id LIMIT 2 OFFSET 2",
-        )
-        .unwrap();
+        let page2 = execute(&mut d, "SELECT id FROM Papers ORDER BY id LIMIT 2 OFFSET 2").unwrap();
         assert_eq!(page1.len(), 2);
         assert_eq!(page2.len(), 1);
         let all = execute(&mut d, "SELECT id FROM Papers ORDER BY id").unwrap();

@@ -54,6 +54,44 @@ impl Token {
     }
 }
 
+impl Symbol {
+    /// The symbol's source spelling (the canonical one where several are
+    /// accepted, e.g. `<>` for [`Symbol::Ne`]).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Symbol::LParen => "(",
+            Symbol::RParen => ")",
+            Symbol::Comma => ",",
+            Symbol::Dot => ".",
+            Symbol::Star => "*",
+            Symbol::Eq => "=",
+            Symbol::Ne => "<>",
+            Symbol::Lt => "<",
+            Symbol::Le => "<=",
+            Symbol::Gt => ">",
+            Symbol::Ge => ">=",
+            Symbol::Semi => ";",
+        }
+    }
+}
+
+/// Renders a token stream back to SQL text that re-tokenizes to the same
+/// stream (round-trip tests rely on this; keywords keep their original
+/// spelling, strings re-escape `'` as `''`).
+pub fn render_tokens(tokens: &[Token]) -> String {
+    tokens
+        .iter()
+        .map(|t| match t {
+            Token::Ident(s) => s.clone(),
+            Token::Int(i) => i.to_string(),
+            Token::Float(x) => format!("{x:?}"),
+            Token::Str(s) => format!("'{}'", s.replace('\'', "''")),
+            Token::Symbol(sym) => sym.as_str().to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
 /// Tokenizes `input` into a vector of tokens.
 pub fn tokenize(input: &str) -> Result<Vec<Token>> {
     let mut out = Vec::new();
@@ -158,11 +196,38 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         i += 1;
                     }
                 }
+                // Optional exponent (`1e-5`, `2.5E8`). The dialect has no
+                // `-`/`+` symbols, so the sign can only belong to the
+                // exponent; consuming it here also keeps [`render_tokens`]'
+                // `{:?}` float rendering (which uses scientific notation
+                // for small/large magnitudes) re-tokenizable.
+                if i < chars.len()
+                    && matches!(chars[i], 'e' | 'E')
+                    && (chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                        || (matches!(chars.get(i + 1), Some('+') | Some('-'))
+                            && chars.get(i + 2).is_some_and(|c| c.is_ascii_digit())))
+                {
+                    is_float = true;
+                    i += 1; // e/E
+                    if matches!(chars[i], '+' | '-') {
+                        i += 1;
+                    }
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
                 let text: String = chars[start..i].iter().collect();
                 if is_float {
-                    out.push(Token::Float(text.parse().map_err(|_| {
-                        Error::Parse(format!("bad float literal `{text}`"))
-                    })?));
+                    // `parse::<f64>` maps overflowing literals like `1e999`
+                    // to ±inf instead of erroring; reject those so only
+                    // finite values (whose `{:?}` form re-tokenizes — see
+                    // `render_tokens`) enter the executor.
+                    let x: f64 = text
+                        .parse()
+                        .ok()
+                        .filter(|x: &f64| x.is_finite())
+                        .ok_or_else(|| Error::Parse(format!("bad float literal `{text}`")))?;
+                    out.push(Token::Float(x));
                 } else {
                     out.push(Token::Int(text.parse().map_err(|_| {
                         Error::Parse(format!("bad int literal `{text}`"))
@@ -199,6 +264,33 @@ mod tests {
     fn string_escapes() {
         let toks = tokenize("'it''s'").unwrap();
         assert_eq!(toks, vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn floats_round_trip_through_render_tokens() {
+        // `render_tokens` uses `{:?}`, which picks scientific notation for
+        // small/large magnitudes; the exponent support above must take
+        // every such spelling back to the identical token.
+        for x in [1.5f64, 1e-5, 2.5e8, 1e300, 0.00001, 123456789.123] {
+            let toks = vec![Token::Float(x)];
+            let rendered = render_tokens(&toks);
+            assert_eq!(
+                tokenize(&rendered).unwrap(),
+                toks,
+                "float {x:?} did not round-trip via {rendered:?}"
+            );
+        }
+        assert_eq!(tokenize("2E8").unwrap(), vec![Token::Float(2e8)]);
+        // Overflowing literals parse to ±inf in Rust; the lexer must
+        // reject them rather than let non-finite values reach the
+        // executor (or `inf` break the round-trip).
+        assert!(tokenize("1e999").is_err());
+        // A bare trailing `e` stays an identifier suffix boundary, not an
+        // exponent: `1e` lexes as Int(1) + Ident(e).
+        assert_eq!(
+            tokenize("1e").unwrap(),
+            vec![Token::Int(1), Token::Ident("e".into())]
+        );
     }
 
     #[test]

@@ -12,9 +12,7 @@ pub mod lexer;
 pub mod naive;
 pub mod parser;
 
-pub use ast::{
-    ColumnDef, JoinClause, OrderItem, Query, SelectItem, SqlExpr, Statement, TableRef,
-};
+pub use ast::{ColumnDef, JoinClause, OrderItem, Query, SelectItem, SqlExpr, Statement, TableRef};
 pub use executor::execute;
 pub use lexer::{tokenize, Token};
 pub use parser::parse_statement;

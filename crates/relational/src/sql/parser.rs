@@ -91,7 +91,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -361,7 +363,9 @@ impl Parser {
             match self.next() {
                 Some(Token::Int(n)) if n >= 0 => n as usize,
                 other => {
-                    return Err(Error::Parse(format!("expected OFFSET count, got {other:?}")))
+                    return Err(Error::Parse(format!(
+                        "expected OFFSET count, got {other:?}"
+                    )))
                 }
             }
         } else {
@@ -386,7 +390,11 @@ impl Parser {
             return Ok(SelectItem::Wildcard);
         }
         // `alias.*`
-        if let (Some(Token::Ident(q)), Some(Token::Symbol(Symbol::Dot)), Some(Token::Symbol(Symbol::Star))) = (
+        if let (
+            Some(Token::Ident(q)),
+            Some(Token::Symbol(Symbol::Dot)),
+            Some(Token::Symbol(Symbol::Star)),
+        ) = (
             self.tokens.get(self.pos),
             self.tokens.get(self.pos + 1),
             self.tokens.get(self.pos + 2),
@@ -411,9 +419,7 @@ impl Parser {
             "join", "inner", "on", "where", "group", "having", "order", "limit", "as",
         ];
         let alias = match self.peek() {
-            Some(Token::Ident(s))
-                if !CLAUSE_KWS.iter().any(|k| s.eq_ignore_ascii_case(k)) =>
-            {
+            Some(Token::Ident(s)) if !CLAUSE_KWS.iter().any(|k| s.eq_ignore_ascii_case(k)) => {
                 Some(self.ident()?)
             }
             _ => {
@@ -478,7 +484,11 @@ impl Parser {
         if self.eat_kw("like") {
             match self.next() {
                 Some(Token::Str(p)) => return Ok(SqlExpr::Like(Box::new(left), p)),
-                other => return Err(Error::Parse(format!("expected LIKE pattern, got {other:?}"))),
+                other => {
+                    return Err(Error::Parse(format!(
+                        "expected LIKE pattern, got {other:?}"
+                    )))
+                }
             }
         }
         if self.peek_kw("not") {
@@ -551,9 +561,7 @@ impl Parser {
                         if self.eat_symbol(Symbol::Star) {
                             self.expect_symbol(Symbol::RParen)?;
                             if func != AggFunc::Count {
-                                return Err(Error::Parse(
-                                    "only COUNT accepts `*` as input".into(),
-                                ));
+                                return Err(Error::Parse("only COUNT accepts `*` as input".into()));
                             }
                             return Ok(SqlExpr::Aggregate { func, input: None });
                         }
@@ -574,7 +582,9 @@ impl Parser {
                     Ok(SqlExpr::Column(first))
                 }
             }
-            other => Err(Error::Parse(format!("expected expression, found {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "expected expression, found {other:?}"
+            ))),
         }
     }
 }

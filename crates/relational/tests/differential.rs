@@ -64,10 +64,7 @@ fn random_sql(seed: u64) -> String {
     let (from, joins): (&str, Vec<String>) = match shape {
         0 => ("dim d", vec![]),
         1 => ("fact f", vec![]),
-        2 => (
-            "fact f, dim d",
-            vec!["f.dim_id = d.id".to_string()],
-        ),
+        2 => ("fact f, dim d", vec!["f.dim_id = d.id".to_string()]),
         _ => (
             "fact f, link l, dim d",
             vec![
@@ -88,7 +85,11 @@ fn random_sql(seed: u64) -> String {
             2 if has_dim => format!("d.grp = {}", rng.gen_range(0..4)),
             3 if has_dim => format!("d.tag LIKE '%{}%'", ["r", "e", "u"][rng.gen_range(0..3)]),
             4 if has_fact => "f.note IS NULL".to_string(),
-            _ if has_fact => format!("f.val IN ({}, {})", rng.gen_range(0..50), rng.gen_range(50..100)),
+            _ if has_fact => format!(
+                "f.val IN ({}, {})",
+                rng.gen_range(0..50),
+                rng.gen_range(50..100)
+            ),
             _ => format!("d.grp <> {}", rng.gen_range(0..4)),
         };
         preds.push(p);
@@ -112,7 +113,11 @@ fn random_sql(seed: u64) -> String {
              GROUP BY d.grp{having}"
         )
     } else {
-        let distinct = if rng.gen_range(0..3) == 0 { "DISTINCT " } else { "" };
+        let distinct = if rng.gen_range(0..3) == 0 {
+            "DISTINCT "
+        } else {
+            ""
+        };
         let cols = match (has_fact, has_dim) {
             (true, true) => "f.id, f.val, d.tag",
             (true, false) => "f.id, f.val",

@@ -35,7 +35,7 @@ impl Participant {
                 speed: 0.85 + rng.gen_range(0.0..0.5),
                 // Likert 3..=6, matching the reported range and mean ~4.67.
                 sql_expertise: *[3u8, 4, 5, 5, 5, 6]
-                    .get(rng.gen_range(0..6))
+                    .get(rng.gen_range(0usize..6))
                     .expect("non-empty"),
                 etable_first: i % 2 == 0,
             })

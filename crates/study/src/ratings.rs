@@ -147,7 +147,11 @@ pub fn render_table3(rows: &[RatingRow]) -> String {
         "== Table 3: Subjective ratings about ETable (7-point Likert; synthetic proxy) =="
     );
     for r in rows {
-        let _ = writeln!(out, "{:>2}. {:<55} {:>4.2}", r.number, r.question, r.average);
+        let _ = writeln!(
+            out,
+            "{:>2}. {:<55} {:>4.2}",
+            r.number, r.question, r.average
+        );
     }
     let _ = writeln!(
         out,

@@ -22,9 +22,9 @@
 use crate::klm::UiStep;
 use etable_core::pattern::NodeFilter;
 use etable_core::session::Session;
+use etable_datagen::{params, TaskCategory, TaskParams, TaskSet};
 use etable_relational::expr::CmpOp;
 use etable_tgm::Tgdb;
-use etable_datagen::{params, TaskCategory, TaskParams, TaskSet};
 use std::collections::BTreeSet;
 
 /// The outcome of running an ETable script.
@@ -539,7 +539,11 @@ mod tests {
         let tasks = task_set(TaskSet::A);
         let p = params(TaskSet::A);
         for task in &tasks {
-            let et = trace_seconds(&run_etable_task(&tgdb, task.number, TaskSet::A).unwrap().steps);
+            let et = trace_seconds(
+                &run_etable_task(&tgdb, task.number, TaskSet::A)
+                    .unwrap()
+                    .steps,
+            );
             let nv = trace_seconds(&navicat_plan(task, &p).build);
             assert!(
                 nv > et * 0.9,

@@ -199,7 +199,11 @@ mod tests {
         assert!(close(ln_gamma(1.0), 0.0, 1e-10));
         assert!(close(ln_gamma(2.0), 0.0, 1e-10));
         assert!(close(ln_gamma(5.0), (24.0f64).ln(), 1e-9)); // 4! = 24
-        assert!(close(ln_gamma(0.5), (std::f64::consts::PI).sqrt().ln(), 1e-9));
+        assert!(close(
+            ln_gamma(0.5),
+            (std::f64::consts::PI).sqrt().ln(),
+            1e-9
+        ));
     }
 
     #[test]
@@ -235,7 +239,9 @@ mod tests {
 
     #[test]
     fn paired_t_detects_shift() {
-        let a = [10.0, 11.0, 12.0, 13.0, 9.0, 10.5, 11.5, 12.5, 10.2, 11.2, 12.2, 9.8];
+        let a = [
+            10.0, 11.0, 12.0, 13.0, 9.0, 10.5, 11.5, 12.5, 10.2, 11.2, 12.2, 9.8,
+        ];
         let b: Vec<f64> = a.iter().map(|x| x + 5.0).collect();
         let test = paired_t_test(&a, &b);
         assert!(test.p < 1e-9, "p = {}", test.p);

@@ -53,10 +53,19 @@ impl InstanceGraph {
     /// reverse edge type, keeping the graph bidirectionally navigable.
     pub fn add_edge(&mut self, schema: &SchemaGraph, et: EdgeTypeId, src: NodeId, tgt: NodeId) {
         let reverse = schema.edge_type(et).reverse;
-        debug_assert_eq!(self.nodes[src.index()].node_type, schema.edge_type(et).source);
-        debug_assert_eq!(self.nodes[tgt.index()].node_type, schema.edge_type(et).target);
+        debug_assert_eq!(
+            self.nodes[src.index()].node_type,
+            schema.edge_type(et).source
+        );
+        debug_assert_eq!(
+            self.nodes[tgt.index()].node_type,
+            schema.edge_type(et).target
+        );
         self.adjacency[et.index()].entry(src).or_default().push(tgt);
-        self.adjacency[reverse.index()].entry(tgt).or_default().push(src);
+        self.adjacency[reverse.index()]
+            .entry(tgt)
+            .or_default()
+            .push(src);
         self.edge_count += 1;
     }
 

@@ -186,7 +186,10 @@ impl SchemaGraph {
             "duplicate node type name `{}`",
             nt.name
         );
-        assert!(nt.label_attr < nt.attrs.len(), "label attribute out of range");
+        assert!(
+            nt.label_attr < nt.attrs.len(),
+            "label attribute out of range"
+        );
         let id = NodeTypeId::from_index(self.node_types.len());
         self.node_types.push(nt);
         id
@@ -268,16 +271,13 @@ impl SchemaGraph {
 
     /// Finds a node type by name.
     pub fn node_type_by_name(&self, name: &str) -> Option<(NodeTypeId, &NodeType)> {
-        self.node_types()
-            .find(|(_, t)| t.name == name)
+        self.node_types().find(|(_, t)| t.name == name)
     }
 
     /// Edge types whose source is `nt` (the neighbor columns `Ah` of an
     /// ETable whose primary node type is `nt`).
     pub fn outgoing(&self, nt: NodeTypeId) -> Vec<(EdgeTypeId, &EdgeType)> {
-        self.edge_types()
-            .filter(|(_, e)| e.source == nt)
-            .collect()
+        self.edge_types().filter(|(_, e)| e.source == nt).collect()
     }
 
     /// Finds an outgoing edge type of `nt` by name.

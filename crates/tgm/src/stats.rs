@@ -118,8 +118,10 @@ mod tests {
         .unwrap();
         db.insert("P", vec![1.into(), "a".into()]).unwrap();
         db.insert("P", vec![2.into(), "b".into()]).unwrap();
-        db.insert("C", vec![10.into(), 1.into(), "x".into()]).unwrap();
-        db.insert("C", vec![11.into(), 1.into(), "y".into()]).unwrap();
+        db.insert("C", vec![10.into(), 1.into(), "x".into()])
+            .unwrap();
+        db.insert("C", vec![11.into(), 1.into(), "y".into()])
+            .unwrap();
         crate::translate::translate(&db, &crate::translate::TranslateOptions::default()).unwrap()
     }
 

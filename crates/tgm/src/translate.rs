@@ -264,9 +264,9 @@ pub fn translate(db: &Database, opts: &TranslateOptions) -> Result<Tgdb> {
     // be created").
     let mut used_names: HashSet<(NodeTypeId, String)> = HashSet::new();
     let unique_name = |used: &mut HashSet<(NodeTypeId, String)>,
-                           source: NodeTypeId,
-                           base: &str,
-                           hint: &str|
+                       source: NodeTypeId,
+                       base: &str,
+                       hint: &str|
      -> String {
         if used.insert((source, base.to_string())) {
             return base.to_string();
@@ -857,10 +857,7 @@ mod tests {
         let (papers, _) = tgdb.schema.node_type_by_name("Papers").unwrap();
         assert_eq!(tgdb.instances.nodes_of_type(papers).len(), 3);
         // Authors edge adjacency = Paper_Authors row count.
-        let (et, _) = tgdb
-            .schema
-            .outgoing_by_name(papers, "Authors")
-            .unwrap();
+        let (et, _) = tgdb.schema.outgoing_by_name(papers, "Authors").unwrap();
         assert_eq!(tgdb.instances.adjacency_size(et), 3);
         // Keyword adjacency = Paper_Keywords row count.
         let (ket, _) = tgdb

@@ -43,7 +43,10 @@ fn main() {
     // P8: Shift(Authors)
     let q = ops::shift(&q, PatternNodeId(2)).expect("P8");
 
-    println!("final query pattern (primary marked *):\n{}", q.diagram(&tgdb));
+    println!(
+        "final query pattern (primary marked *):\n{}",
+        q.diagram(&tgdb)
+    );
 
     let m = matching::match_primary(&tgdb, &q).expect("match");
     println!("matched researchers: {}", m.rows().len());

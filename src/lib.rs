@@ -27,10 +27,7 @@ pub use etable_tgm as tgm;
 
 /// Builds the default evaluation environment: the synthetic academic
 /// database at medium scale plus its typed-graph translation.
-pub fn default_environment() -> (
-    relational::database::Database,
-    tgm::Tgdb,
-) {
+pub fn default_environment() -> (relational::database::Database, tgm::Tgdb) {
     let db = datagen::generate(&datagen::GenConfig::medium());
     let tgdb = tgm::translate(&db, &tgm::TranslateOptions::default())
         .expect("the Figure 3 schema always translates");

@@ -75,7 +75,9 @@ fn task3_filter_pipeline_via_cli() {
     ]);
     let titles = csv_column(&csv, "title");
     assert_eq!(
-        titles.into_iter().collect::<std::collections::BTreeSet<_>>(),
+        titles
+            .into_iter()
+            .collect::<std::collections::BTreeSet<_>>(),
         truth
     );
 }
@@ -91,7 +93,14 @@ fn task5_superlative_via_cli() {
         "sort Authors desc",
     ]);
     let names = csv_column(&csv, "name");
-    assert_eq!(names.first().cloned().into_iter().collect::<std::collections::BTreeSet<_>>(), truth);
+    assert_eq!(
+        names
+            .first()
+            .cloned()
+            .into_iter()
+            .collect::<std::collections::BTreeSet<_>>(),
+        truth
+    );
 }
 
 #[test]

@@ -176,10 +176,6 @@ fn categorical_pivot_groups_by_year() {
         .sum();
     assert_eq!(total, db.table("Papers").unwrap().len());
     // Year value nodes = distinct years.
-    let distinct_years = db
-        .table("Papers")
-        .unwrap()
-        .distinct_values(3)
-        .len();
+    let distinct_years = db.table("Papers").unwrap().distinct_values(3).len();
     assert_eq!(tgdb.instances.nodes_of_type(year_ty).len(), distinct_years);
 }

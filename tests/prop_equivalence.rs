@@ -80,9 +80,10 @@ fn random_pattern(tgdb: &Tgdb, seed: u64, steps: usize) -> QueryPattern {
     // Value-node primaries are valid but make key comparison trivial;
     // prefer shifting back to an entity occurrence when one exists.
     if tgdb.schema.node_type(q.primary_node().node_type).kind != NodeTypeKind::Entity {
-        if let Some(id) = q.node_ids().find(|&id| {
-            tgdb.schema.node_type(q.node(id).node_type).kind == NodeTypeKind::Entity
-        }) {
+        if let Some(id) = q
+            .node_ids()
+            .find(|&id| tgdb.schema.node_type(q.node(id).node_type).kind == NodeTypeKind::Entity)
+        {
             q = ops::shift(&q, id).unwrap();
         }
     }
@@ -90,7 +91,11 @@ fn random_pattern(tgdb: &Tgdb, seed: u64, steps: usize) -> QueryPattern {
 }
 
 /// Primary-node keys from an ETable execution.
-fn pattern_keys(tgdb: &Tgdb, q: &QueryPattern, rows: &[etable_repro::tgm::NodeId]) -> BTreeSet<String> {
+fn pattern_keys(
+    tgdb: &Tgdb,
+    q: &QueryPattern,
+    rows: &[etable_repro::tgm::NodeId],
+) -> BTreeSet<String> {
     let nt = tgdb.schema.node_type(q.primary_node().node_type);
     rows.iter()
         .map(|&n| {
@@ -195,9 +200,7 @@ fn like_match_agrees_with_naive_reference() {
                 let _ = tc;
                 naive(&t[1..], &p[1..])
             }
-            (Some(tc), Some(pc)) => {
-                tc.eq_ignore_ascii_case(pc) && naive(&t[1..], &p[1..])
-            }
+            (Some(tc), Some(pc)) => tc.eq_ignore_ascii_case(pc) && naive(&t[1..], &p[1..]),
             (None, Some(_)) => false,
         }
     }

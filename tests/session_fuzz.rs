@@ -80,7 +80,10 @@ fn random_action(session: &mut Session<'_>, rng: &mut StdRng) {
                     }
                 }
             }
-            if let Some(&n) = refs.get(rng.gen_range(0..refs.len().max(1)).min(refs.len().saturating_sub(1))) {
+            if let Some(&n) = refs.get(
+                rng.gen_range(0..refs.len().max(1))
+                    .min(refs.len().saturating_sub(1)),
+            ) {
                 let _ = session.single(n);
             }
         }
