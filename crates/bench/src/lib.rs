@@ -29,13 +29,17 @@ pub fn dataset(cfg: &GenConfig) -> (Database, Tgdb) {
 /// Reads `ETABLE_SCALE` (number of papers) from the environment, defaulting
 /// to the medium configuration — lets figure binaries run at paper scale
 /// with `ETABLE_SCALE=38000`.
+///
+/// Invalid or too-small scales abort with a friendly message instead of
+/// tripping the generator's internal assertion (the validation contract
+/// lives in [`GenConfig::with_scale_from_env`]).
 pub fn scale_from_env() -> GenConfig {
-    match std::env::var("ETABLE_SCALE")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-    {
-        Some(n) => GenConfig::medium().with_papers(n),
-        None => GenConfig::medium(),
+    match GenConfig::medium().with_scale_from_env() {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
     }
 }
 

@@ -249,7 +249,7 @@ pub fn parse_value(s: &str) -> Value {
     } else if let Ok(f) = s.parse::<f64>() {
         Value::Float(f)
     } else {
-        Value::Text(s.to_string())
+        Value::text(s)
     }
 }
 

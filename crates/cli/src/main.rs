@@ -21,13 +21,13 @@ use etable_tgm::{translate, TranslateOptions};
 use std::io::{BufRead, IsTerminal, Write};
 
 fn main() {
-    let mut cfg = GenConfig::medium();
-    if let Some(n) = std::env::var("ETABLE_SCALE")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-    {
-        cfg = cfg.with_papers(n);
-    }
+    let mut cfg = match GenConfig::medium().with_scale_from_env() {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
     if let Some(seed) = std::env::var("ETABLE_SEED")
         .ok()
         .and_then(|s| s.parse::<u64>().ok())

@@ -1,13 +1,32 @@
 //! Offline stand-in for the subset of crates.io `criterion` 0.5 this
-//! workspace uses. It genuinely measures wall-clock time (warm-up plus a
-//! sampled mean/min) and prints one line per benchmark, but performs no
-//! statistical analysis, HTML reporting, or baseline comparison.
-//! See `crates/compat/README.md` for the replacement policy.
+//! workspace uses. It genuinely measures wall-clock time (warm-up plus
+//! sampled statistics), prints one line per benchmark, and — unlike real
+//! criterion — writes a machine-readable summary so the perf trajectory can
+//! be tracked across PRs. There is no HTML reporting or baseline
+//! comparison. See `crates/compat/README.md` for the replacement policy.
+//!
+//! ## Statistics
+//!
+//! Each benchmark reports the **median**, **mean** and **standard
+//! deviation** of its samples after simple IQR outlier rejection (samples
+//! outside `[Q1 - 1.5·IQR, Q3 + 1.5·IQR]` are dropped and counted), plus
+//! the raw minimum. The median/IQR combination makes the printed numbers
+//! citable on a noisy machine; the rejected-outlier count shows when they
+//! are not.
+//!
+//! ## Machine-readable results
+//!
+//! `criterion_main!` writes every recorded benchmark to a JSON file when
+//! the process ends: `BENCH_results.json` in the working directory, or the
+//! path in the `BENCH_RESULTS_PATH` environment variable. The file is a
+//! JSON array of objects with `name`, `samples`, `outliers_rejected`, and
+//! nanosecond-valued `median_ns`/`mean_ns`/`stddev_ns`/`min_ns`/`max_ns`.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Prevents the compiler from optimising away a benchmarked value.
@@ -77,6 +96,106 @@ impl Bencher {
     }
 }
 
+/// Summary statistics for one benchmark after IQR outlier rejection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stats {
+    /// Samples kept after rejection.
+    pub samples: usize,
+    /// Samples dropped by the IQR fence.
+    pub outliers_rejected: usize,
+    /// Median of the kept samples, in nanoseconds.
+    pub median_ns: f64,
+    /// Mean of the kept samples, in nanoseconds.
+    pub mean_ns: f64,
+    /// Population standard deviation of the kept samples, in nanoseconds.
+    pub stddev_ns: f64,
+    /// Minimum over *all* samples (outliers only ever slow a benchmark
+    /// down, so the raw minimum stays meaningful), in nanoseconds.
+    pub min_ns: f64,
+    /// Maximum over the kept samples, in nanoseconds.
+    pub max_ns: f64,
+}
+
+/// Median of a sorted slice.
+fn median_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Type-7 (linear interpolation) quantile of a sorted slice, as used by
+/// most statistics packages.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (pos - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Computes [`Stats`] from raw samples: sorts, drops samples outside
+/// `[Q1 - 1.5·IQR, Q3 + 1.5·IQR]`, then summarizes what is left.
+pub fn compute_stats(samples: &[Duration]) -> Option<Stats> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut ns: Vec<f64> = samples.iter().map(|d| d.as_nanos() as f64).collect();
+    ns.sort_by(f64::total_cmp);
+    let raw_min = ns[0];
+    let q1 = quantile_sorted(&ns, 0.25);
+    let q3 = quantile_sorted(&ns, 0.75);
+    let iqr = q3 - q1;
+    let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let kept: Vec<f64> = ns.iter().copied().filter(|&x| x >= lo && x <= hi).collect();
+    // The fences always contain the quartiles, so `kept` is never empty.
+    let n = kept.len() as f64;
+    let mean = kept.iter().sum::<f64>() / n;
+    let var = kept.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    Some(Stats {
+        samples: kept.len(),
+        outliers_rejected: ns.len() - kept.len(),
+        median_ns: median_sorted(&kept),
+        mean_ns: mean,
+        stddev_ns: var.sqrt(),
+        min_ns: raw_min,
+        max_ns: *kept.last().expect("non-empty"),
+    })
+}
+
+/// One recorded benchmark, kept for the JSON report.
+#[derive(Debug, Clone)]
+struct Record {
+    name: String,
+    stats: Stats,
+}
+
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
 fn report(group: &str, id: &str, samples: &[Duration]) {
     let full = if group.is_empty() {
         id.to_string()
@@ -85,17 +204,72 @@ fn report(group: &str, id: &str, samples: &[Duration]) {
     } else {
         format!("{group}/{id}")
     };
-    if samples.is_empty() {
+    let Some(stats) = compute_stats(samples) else {
         println!("{full:<48} (no samples)");
         return;
-    }
-    let total: Duration = samples.iter().sum();
-    let mean = total / samples.len() as u32;
-    let min = samples.iter().min().copied().unwrap_or_default();
+    };
     println!(
-        "{full:<48} mean {mean:>12?}   min {min:>12?}   ({} samples)",
-        samples.len()
+        "{full:<48} median {:>12}   mean {:>12} ± {:<12} min {:>12}   ({} samples{})",
+        fmt_ns(stats.median_ns),
+        fmt_ns(stats.mean_ns),
+        fmt_ns(stats.stddev_ns),
+        fmt_ns(stats.min_ns),
+        stats.samples,
+        if stats.outliers_rejected > 0 {
+            format!(", {} outliers rejected", stats.outliers_rejected)
+        } else {
+            String::new()
+        },
     );
+    RECORDS
+        .lock()
+        .expect("bench records poisoned")
+        .push(Record { name: full, stats });
+}
+
+/// Serializes every recorded benchmark as a JSON array (sorted by name).
+pub fn results_json() -> String {
+    let mut records = RECORDS.lock().expect("bench records poisoned").clone();
+    records.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let name = r
+            .name
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace(|c: char| (c as u32) < 0x20, " ");
+        out.push_str(&format!(
+            "  {{\"name\": \"{name}\", \"samples\": {}, \"outliers_rejected\": {}, \
+             \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"stddev_ns\": {:.1}, \
+             \"min_ns\": {:.1}, \"max_ns\": {:.1}}}",
+            r.stats.samples,
+            r.stats.outliers_rejected,
+            r.stats.median_ns,
+            r.stats.mean_ns,
+            r.stats.stddev_ns,
+            r.stats.min_ns,
+            r.stats.max_ns,
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Writes the JSON report to `BENCH_RESULTS_PATH` (default
+/// `BENCH_results.json`). Called by `criterion_main!` after all groups run;
+/// a write failure is reported but never fails the bench run.
+pub fn write_results() {
+    let path = std::env::var("BENCH_RESULTS_PATH").unwrap_or_else(|_| "BENCH_results.json".into());
+    if RECORDS.lock().expect("bench records poisoned").is_empty() {
+        return;
+    }
+    match std::fs::write(&path, results_json()) {
+        Ok(()) => println!("\nbench results written to {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
 }
 
 /// A named collection of related benchmarks, mirroring
@@ -206,11 +380,14 @@ macro_rules! criterion_group {
 }
 
 /// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+/// After all groups run, the machine-readable results file is written
+/// (see [`write_results`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_results();
         }
     };
 }
@@ -243,5 +420,78 @@ mod tests {
             "translate/300"
         );
         assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+
+    #[test]
+    fn median_handles_odd_and_even() {
+        let odd: Vec<Duration> = [10, 20, 30]
+            .iter()
+            .map(|&n| Duration::from_nanos(n))
+            .collect();
+        assert_eq!(compute_stats(&odd).unwrap().median_ns, 20.0);
+        let even: Vec<Duration> = [10, 20, 30, 40]
+            .iter()
+            .map(|&n| Duration::from_nanos(n))
+            .collect();
+        assert_eq!(compute_stats(&even).unwrap().median_ns, 25.0);
+    }
+
+    #[test]
+    fn stddev_of_constant_samples_is_zero() {
+        let s: Vec<Duration> = std::iter::repeat_n(Duration::from_nanos(100), 8).collect();
+        let stats = compute_stats(&s).unwrap();
+        assert_eq!(stats.mean_ns, 100.0);
+        assert_eq!(stats.stddev_ns, 0.0);
+        assert_eq!(stats.outliers_rejected, 0);
+    }
+
+    #[test]
+    fn iqr_rejects_a_gross_outlier() {
+        // Nine tight samples and one 100x spike: the spike must be
+        // rejected, leaving median/mean near the cluster.
+        let mut ns: Vec<u64> = vec![100, 101, 99, 100, 102, 98, 100, 101, 99];
+        ns.push(10_000);
+        let s: Vec<Duration> = ns.iter().map(|&n| Duration::from_nanos(n)).collect();
+        let stats = compute_stats(&s).unwrap();
+        assert_eq!(stats.outliers_rejected, 1);
+        assert_eq!(stats.samples, 9);
+        assert!(stats.median_ns <= 102.0, "median {}", stats.median_ns);
+        assert!(stats.mean_ns <= 102.0, "mean {}", stats.mean_ns);
+        // The raw minimum is unaffected by rejection.
+        assert_eq!(stats.min_ns, 98.0);
+    }
+
+    #[test]
+    fn empty_samples_have_no_stats() {
+        assert!(compute_stats(&[]).is_none());
+    }
+
+    #[test]
+    fn results_json_is_well_formed() {
+        let mut c = Criterion::default();
+        c.bench_function("json-shape-test", |b| b.iter(|| 1 + 1));
+        let json = results_json();
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"name\": \"json-shape-test\""), "{json}");
+        assert!(json.contains("\"median_ns\""));
+        assert!(json.contains("\"stddev_ns\""));
+        assert!(json.contains("\"outliers_rejected\""));
+    }
+
+    #[test]
+    fn write_results_honors_env_path() {
+        let dir = std::env::temp_dir().join(format!("criterion-shim-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_results.json");
+        // Record at least one benchmark, then write through the env hook.
+        let mut c = Criterion::default();
+        c.bench_function("write-results-test", |b| b.iter(|| 2 + 2));
+        std::env::set_var("BENCH_RESULTS_PATH", &path);
+        write_results();
+        std::env::remove_var("BENCH_RESULTS_PATH");
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.contains("write-results-test"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

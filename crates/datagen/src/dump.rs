@@ -21,7 +21,7 @@ fn sql_type(ty: DataType) -> &'static str {
 fn sql_literal(v: &Value) -> String {
     match v {
         Value::Null => "NULL".into(),
-        Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Text(s) => format!("'{}'", s.as_str().replace('\'', "''")),
         other => other.to_string(),
     }
 }
@@ -83,7 +83,8 @@ pub fn dump_sql(db: &Database) -> String {
     for name in &ordered {
         let table = db.table(name).expect("listed table");
         const BATCH: usize = 200;
-        for chunk in table.rows().chunks(BATCH) {
+        let rows = table.to_rows();
+        for chunk in rows.chunks(BATCH) {
             let _ = write!(out, "INSERT INTO {name} VALUES ");
             for (i, row) in chunk.iter().enumerate() {
                 if i > 0 {
@@ -126,7 +127,7 @@ mod tests {
             let a = original.table(name).unwrap();
             let b = restored.table(name).unwrap();
             assert_eq!(a.schema(), b.schema(), "{name} schema");
-            assert_eq!(a.rows(), b.rows(), "{name} rows");
+            assert_eq!(a.to_rows(), b.to_rows(), "{name} rows");
         }
         restored.check_integrity().unwrap();
     }
@@ -163,8 +164,8 @@ mod tests {
         assert!(dump.contains("'it''s'"), "{dump}");
         let restored = load_sql(&dump).unwrap();
         assert_eq!(
-            restored.table("T").unwrap().rows()[0][1],
-            Value::Text("it's".into())
+            restored.table("T").unwrap().row(0).unwrap()[1],
+            Value::text("it's")
         );
     }
 

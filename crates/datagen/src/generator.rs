@@ -10,6 +10,7 @@
 use crate::names;
 use crate::schema::academic_schema;
 use etable_relational::database::Database;
+use etable_relational::table::Row;
 use etable_relational::value::Value;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -76,7 +77,40 @@ impl GenConfig {
             ..self.clone()
         }
     }
+
+    /// Like [`GenConfig::with_papers`], but validates the scale up front so
+    /// user-facing entry points (`ETABLE_SCALE`) can report a friendly error
+    /// instead of hitting the generator's internal assertion.
+    pub fn try_with_papers(&self, papers: usize) -> std::result::Result<Self, String> {
+        if papers < MIN_PAPERS {
+            return Err(format!(
+                "scale {papers} is too small: the generator needs at least {MIN_PAPERS} papers \
+                 to plant the Table 2 task entities (try ETABLE_SCALE={MIN_PAPERS} or larger)"
+            ));
+        }
+        Ok(self.with_papers(papers))
+    }
+
+    /// Applies the `ETABLE_SCALE` environment variable: returns `self`
+    /// unchanged when it is unset, the resized configuration when it names
+    /// a valid paper count, and a friendly error message otherwise. The
+    /// single source of the scale-validation contract shared by every
+    /// user-facing entry point (CLI, figure binaries).
+    pub fn with_scale_from_env(&self) -> std::result::Result<Self, String> {
+        let Ok(scale) = std::env::var("ETABLE_SCALE") else {
+            return Ok(self.clone());
+        };
+        let n = scale
+            .parse::<usize>()
+            .map_err(|_| format!("ETABLE_SCALE must be a number of papers, got `{scale}`"))?;
+        self.try_with_papers(n)
+    }
 }
+
+/// The smallest paper count the generator supports: below this the planted
+/// Table 2 entities (two target papers, the Madden/CMU/SNU clusters) would
+/// not fit.
+pub const MIN_PAPERS: usize = 20;
 
 impl Default for GenConfig {
     fn default() -> Self {
@@ -121,45 +155,52 @@ pub mod planted {
 
 /// Generates the synthetic academic database.
 pub fn generate(cfg: &GenConfig) -> Database {
-    assert!(cfg.papers >= 20, "need at least 20 papers");
+    assert!(
+        cfg.papers >= MIN_PAPERS,
+        "need at least {MIN_PAPERS} papers (see GenConfig::try_with_papers)"
+    );
     assert!(cfg.authors >= 20, "need at least 20 authors");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut db = academic_schema();
 
     // --- Conferences ------------------------------------------------------
-    for (i, (acr, title)) in names::CONFERENCES.iter().enumerate() {
-        db.insert_unchecked(
-            "Conferences",
-            vec![(i as i64 + 1).into(), (*acr).into(), (*title).into()],
-        )
-        .expect("conference row");
-    }
+    db.append_rows(
+        "Conferences",
+        names::CONFERENCES
+            .iter()
+            .enumerate()
+            .map(|(i, (acr, title))| vec![(i as i64 + 1).into(), (*acr).into(), (*title).into()]),
+    )
+    .expect("conference rows");
     let n_conf = names::CONFERENCES.len() as i64;
 
     // --- Institutions -----------------------------------------------------
-    for (i, (name, country)) in names::INSTITUTIONS.iter().enumerate() {
-        db.insert_unchecked(
-            "Institutions",
-            vec![(i as i64 + 1).into(), (*name).into(), (*country).into()],
-        )
-        .expect("institution row");
-    }
+    db.append_rows(
+        "Institutions",
+        names::INSTITUTIONS
+            .iter()
+            .enumerate()
+            .map(|(i, (name, country))| {
+                vec![(i as i64 + 1).into(), (*name).into(), (*country).into()]
+            }),
+    )
+    .expect("institution rows");
     let n_inst = names::INSTITUTIONS.len() as i64;
 
     // --- Authors ----------------------------------------------------------
     // Author 1 is Samuel Madden (planted, at MIT = institution 2).
     let mut used_names: HashSet<String> = HashSet::new();
     used_names.insert("Samuel Madden".into());
-    db.insert_unchecked(
-        "Authors",
-        vec![planted::MADDEN.into(), "Samuel Madden".into(), 2.into()],
-    )
-    .expect("author row");
+    let mut author_rows: Vec<Row> = Vec::with_capacity(cfg.authors);
+    author_rows.push(vec![
+        planted::MADDEN.into(),
+        "Samuel Madden".into(),
+        2.into(),
+    ]);
     // Authors 2..=6 are planted at CMU so task 4 has answers.
     for id in 2..=6i64 {
         let name = fresh_name(&mut rng, &mut used_names);
-        db.insert_unchecked("Authors", vec![id.into(), name.into(), planted::CMU.into()])
-            .expect("author row");
+        author_rows.push(vec![id.into(), name.into(), planted::CMU.into()]);
     }
     // A cluster of authors is planted at Seoul National University so
     // task 5 ("which South Korean institution has the most authors?")
@@ -173,8 +214,7 @@ pub fn generate(cfg: &GenConfig) -> Database {
     let snu_cluster = (cfg.authors / 50).max(8) as i64;
     for id in 7..7 + snu_cluster {
         let name = fresh_name(&mut rng, &mut used_names);
-        db.insert_unchecked("Authors", vec![id.into(), name.into(), planted::SNU.into()])
-            .expect("author row");
+        author_rows.push(vec![id.into(), name.into(), planted::SNU.into()]);
     }
     for id in (7 + snu_cluster)..=cfg.authors as i64 {
         let name = fresh_name(&mut rng, &mut used_names);
@@ -185,12 +225,13 @@ pub fn generate(cfg: &GenConfig) -> Database {
             // Zipf over institutions: big schools dominate.
             (zipf(&mut rng, n_inst as usize) as i64 + 1).into()
         };
-        db.insert_unchecked("Authors", vec![id.into(), name.into(), inst])
-            .expect("author row");
+        author_rows.push(vec![id.into(), name.into(), inst]);
     }
+    db.append_rows("Authors", author_rows).expect("author rows");
 
     // --- Papers -----------------------------------------------------------
     let mut used_titles: HashSet<String> = HashSet::new();
+    let mut paper_rows: Vec<Row> = Vec::with_capacity(cfg.papers);
     let mut paper_year: Vec<i64> = Vec::with_capacity(cfg.papers);
     let mut paper_conf: Vec<i64> = Vec::with_capacity(cfg.papers);
     for id in 1..=cfg.papers as i64 {
@@ -215,21 +256,18 @@ pub fn generate(cfg: &GenConfig) -> Database {
         used_titles.insert(title.clone());
         let page_start = rng.gen_range(1..1800i64);
         let page_len = rng.gen_range(2..14i64);
-        db.insert_unchecked(
-            "Papers",
-            vec![
-                id.into(),
-                conf.into(),
-                title.into(),
-                year.into(),
-                page_start.into(),
-                (page_start + page_len).into(),
-            ],
-        )
-        .expect("paper row");
+        paper_rows.push(vec![
+            id.into(),
+            conf.into(),
+            title.into(),
+            year.into(),
+            page_start.into(),
+            (page_start + page_len).into(),
+        ]);
         paper_year.push(year);
         paper_conf.push(conf);
     }
+    db.append_rows("Papers", paper_rows).expect("paper rows");
 
     // --- Paper_Authors (preferential attachment over authors) -------------
     // Tickets: an author's chance of being picked grows with each paper,
@@ -301,15 +339,16 @@ pub fn generate(cfg: &GenConfig) -> Database {
     }
     pa_rows.sort();
     pa_rows.dedup_by_key(|(p, a, _)| (*p, *a));
-    for (pid, a, ord) in &pa_rows {
-        db.insert_unchecked(
-            "Paper_Authors",
-            vec![(*pid).into(), (*a).into(), (*ord).into()],
-        )
-        .expect("paper-author row");
-    }
+    db.append_rows(
+        "Paper_Authors",
+        pa_rows
+            .iter()
+            .map(|(pid, a, ord)| vec![(*pid).into(), (*a).into(), (*ord).into()]),
+    )
+    .expect("paper-author rows");
 
     // --- Paper_Keywords ----------------------------------------------------
+    let mut kw_rows: Vec<Row> = Vec::new();
     for pid in 1..=cfg.papers as i64 {
         let mut kws: Vec<&str> = Vec::new();
         if pid == planted::USABLE_PAPER {
@@ -340,13 +379,15 @@ pub fn generate(cfg: &GenConfig) -> Database {
             }
         }
         for k in kws {
-            db.insert_unchecked("Paper_Keywords", vec![pid.into(), k.into()])
-                .expect("keyword row");
+            kw_rows.push(vec![pid.into(), k.into()]);
         }
     }
+    db.append_rows("Paper_Keywords", kw_rows)
+        .expect("keyword rows");
 
     // --- Paper_References (preferential attachment over earlier papers) ---
     let mut cite_tickets: Vec<i64> = Vec::new();
+    let mut ref_rows: Vec<Row> = Vec::new();
     for pid in 2..=cfg.papers as i64 {
         cite_tickets.push(pid - 1);
         let count = skewed_count(&mut rng, cfg.mean_refs, 0, 30);
@@ -360,11 +401,12 @@ pub fn generate(cfg: &GenConfig) -> Database {
             guard += 1;
         }
         for r in &refs {
-            db.insert_unchecked("Paper_References", vec![pid.into(), (*r).into()])
-                .expect("reference row");
+            ref_rows.push(vec![pid.into(), (*r).into()]);
             cite_tickets.push(*r);
         }
     }
+    db.append_rows("Paper_References", ref_rows)
+        .expect("reference rows");
 
     db
 }
@@ -433,7 +475,7 @@ mod tests {
         assert_eq!(a.total_rows(), b.total_rows());
         let ta = a.table("Papers").unwrap();
         let tb = b.table("Papers").unwrap();
-        assert_eq!(ta.rows(), tb.rows());
+        assert_eq!(ta.to_rows(), tb.to_rows());
     }
 
     #[test]
@@ -444,8 +486,8 @@ mod tests {
             ..GenConfig::small()
         });
         assert_ne!(
-            a.table("Papers").unwrap().rows(),
-            b.table("Papers").unwrap().rows()
+            a.table("Papers").unwrap().to_rows(),
+            b.table("Papers").unwrap().to_rows()
         );
     }
 
@@ -602,5 +644,12 @@ mod tests {
         let db = generate(&cfg);
         assert_eq!(db.table("Papers").unwrap().len(), 600);
         assert_eq!(db.table("Authors").unwrap().len(), 400);
+    }
+
+    #[test]
+    fn tiny_scale_is_a_friendly_error() {
+        let err = GenConfig::medium().try_with_papers(5).unwrap_err();
+        assert!(err.contains("at least 20 papers"), "{err}");
+        assert!(GenConfig::medium().try_with_papers(MIN_PAPERS).is_ok());
     }
 }

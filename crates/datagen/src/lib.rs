@@ -20,6 +20,6 @@ pub mod schema;
 pub mod tasks;
 
 pub use dump::{dump_sql, load_sql};
-pub use generator::{generate, planted, GenConfig};
+pub use generator::{generate, planted, GenConfig, MIN_PAPERS};
 pub use schema::academic_schema;
 pub use tasks::{ground_truth, params, task_set, Task, TaskCategory, TaskParams, TaskSet};

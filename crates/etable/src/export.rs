@@ -35,7 +35,7 @@ fn json_value(v: &etable_relational::value::Value) -> String {
         Value::Int(i) => i.to_string(),
         Value::Float(f) if f.is_finite() => f.to_string(),
         Value::Float(_) => "null".into(), // NaN/inf have no JSON form
-        Value::Text(s) => format!("\"{}\"", json_escape(s)),
+        Value::Text(s) => format!("\"{}\"", json_escape(s.as_str())),
         Value::Bool(b) => b.to_string(),
     }
 }

@@ -127,7 +127,7 @@ pub fn combine(
                 .iter()
                 .map(|col| match &col.kind {
                     ColumnKind::Base { attr } => {
-                        Cell::Atomic(tgdb.instances.node(node).values[*attr].clone())
+                        Cell::Atomic(tgdb.instances.node(node).values[*attr])
                     }
                     ColumnKind::Neighbor { edge } => Cell::Refs(
                         tgdb.instances

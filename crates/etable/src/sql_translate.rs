@@ -26,7 +26,7 @@ use std::fmt::Write;
 
 fn sql_literal(v: &Value) -> String {
     match v {
-        Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Text(s) => format!("'{}'", s.as_str().replace('\'', "''")),
         other => other.to_string(),
     }
 }
@@ -923,7 +923,7 @@ fn sql_condition_to_atom(expr: &SqlExpr, attr: &str) -> Result<FilterAtom> {
             Ok(FilterAtom::Cmp {
                 attr: attr.to_string(),
                 op,
-                value: lit.clone(),
+                value: *lit,
             })
         }
         SqlExpr::Like(_, p) => Ok(FilterAtom::Like {

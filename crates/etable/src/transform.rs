@@ -94,9 +94,7 @@ pub fn transform(tgdb: &Tgdb, m: &MatchResult) -> Result<EnrichedTable> {
         let mut cells = Vec::with_capacity(columns.len());
         for col in &columns {
             let cell = match &col.kind {
-                ColumnKind::Base { attr } => {
-                    Cell::Atomic(tgdb.instances.node(node).values[*attr].clone())
-                }
+                ColumnKind::Base { attr } => Cell::Atomic(tgdb.instances.node(node).values[*attr]),
                 ColumnKind::Participating { node: target } => {
                     let related = m.related(tgdb, node, *target)?;
                     Cell::Refs(

@@ -74,18 +74,50 @@ impl Relation {
         Relation { columns, rows }
     }
 
-    /// Builds a relation from a stored table, qualifying columns with `alias`.
-    pub fn from_table(table: &crate::table::Table, alias: &str) -> Self {
-        let columns = table
+    /// The qualified output columns a scan of `table` under `alias`
+    /// produces. Single source for [`Relation::from_table`],
+    /// [`Relation::from_table_filtered`] and the executor's zero-row
+    /// predicate-resolution shapes, so name resolution can never diverge
+    /// from the columns a scan actually yields.
+    pub fn table_columns(table: &crate::table::Table, alias: &str) -> Vec<RelColumn> {
+        table
             .schema()
             .columns
             .iter()
             .map(|c| RelColumn::qualified(alias, &c.name, c.data_type))
-            .collect();
+            .collect()
+    }
+
+    /// Builds a relation from a stored table, qualifying columns with `alias`.
+    /// Rows are materialized from the table's columnar storage.
+    pub fn from_table(table: &crate::table::Table, alias: &str) -> Self {
         Relation {
-            columns,
-            rows: table.rows().to_vec(),
+            columns: Self::table_columns(table, alias),
+            rows: table.to_rows(),
         }
+    }
+
+    /// Builds a relation from a stored table, keeping only rows satisfying
+    /// `pred` (resolved against this relation's column order).
+    ///
+    /// This is the executor's pushdown scan: the predicate streams over the
+    /// columnar storage through one reusable row buffer, so rows that fail
+    /// the filter are never materialized into the output.
+    pub fn from_table_filtered(
+        table: &crate::table::Table,
+        alias: &str,
+        pred: &Expr,
+    ) -> Result<Relation> {
+        let columns = Self::table_columns(table, alias);
+        let mut rows = Vec::new();
+        let mut buf: Row = Vec::with_capacity(columns.len());
+        for i in 0..table.len() {
+            table.read_row(i, &mut buf);
+            if pred.matches(&buf)? {
+                rows.push(buf.clone());
+            }
+        }
+        Ok(Relation::new(columns, rows))
     }
 
     /// Number of rows.
@@ -138,7 +170,7 @@ impl Relation {
         let rows = self
             .rows
             .iter()
-            .map(|r| indices.iter().map(|&i| r[i].clone()).collect())
+            .map(|r| indices.iter().map(|&i| r[i]).collect())
             .collect();
         Ok(Relation::new(columns, rows))
     }
@@ -173,30 +205,33 @@ impl Relation {
         } else {
             (other, self, right_col, left_col, false)
         };
-        let mut index: HashMap<&Value, Vec<usize>> = HashMap::new();
+        // `Value` is `Copy` and text hashes by interned symbol id, so the
+        // build index keys on word-sized copies (a text join key is a `u32`
+        // symbol, not a heap string).
+        let mut index: HashMap<Value, Vec<usize>> = HashMap::new();
         for (i, r) in build.rows.iter().enumerate() {
             if !r[build_col].is_null() {
-                index.entry(&r[build_col]).or_default().push(i);
+                index.entry(r[build_col]).or_default().push(i);
             }
         }
         let mut columns = self.columns.clone();
         columns.extend(other.columns.iter().cloned());
         let mut rows = Vec::new();
         for pr in &probe.rows {
-            let key = &pr[probe_col];
+            let key = pr[probe_col];
             if key.is_null() {
                 continue;
             }
-            if let Some(hits) = index.get(key) {
+            if let Some(hits) = index.get(&key) {
                 for &bi in hits {
                     let br = &build.rows[bi];
                     let mut out = Vec::with_capacity(self.columns.len() + other.columns.len());
                     if build_is_left {
-                        out.extend(br.iter().cloned());
-                        out.extend(pr.iter().cloned());
+                        out.extend_from_slice(br);
+                        out.extend_from_slice(pr);
                     } else {
-                        out.extend(pr.iter().cloned());
-                        out.extend(br.iter().cloned());
+                        out.extend_from_slice(pr);
+                        out.extend_from_slice(br);
                     }
                     rows.push(out);
                 }
@@ -213,8 +248,8 @@ impl Relation {
         for l in &self.rows {
             for r in &other.rows {
                 let mut combined = Vec::with_capacity(l.len() + r.len());
-                combined.extend(l.iter().cloned());
-                combined.extend(r.iter().cloned());
+                combined.extend_from_slice(l);
+                combined.extend_from_slice(r);
                 if pred.matches(&combined)? {
                     rows.push(combined);
                 }
@@ -231,8 +266,8 @@ impl Relation {
         for l in &self.rows {
             for r in &other.rows {
                 let mut combined = Vec::with_capacity(l.len() + r.len());
-                combined.extend(l.iter().cloned());
-                combined.extend(r.iter().cloned());
+                combined.extend_from_slice(l);
+                combined.extend_from_slice(r);
                 rows.push(combined);
             }
         }
@@ -240,11 +275,20 @@ impl Relation {
     }
 
     /// Sorts rows by the given keys (stable).
+    ///
+    /// Sort-key cells are decorated once per row ([`SortCell`]) so text
+    /// comparisons never take the interner lock inside the comparator.
     pub fn sort_by(&self, keys: &[SortKey]) -> Relation {
-        let mut rows = self.rows.clone();
-        rows.sort_by(|a, b| {
-            for k in keys {
-                let ord = a[k.column].total_cmp(&b[k.column]);
+        use crate::value::SortCell;
+        let decorated: Vec<Vec<SortCell>> = self
+            .rows
+            .iter()
+            .map(|r| keys.iter().map(|k| SortCell::new(r[k.column])).collect())
+            .collect();
+        let mut order: Vec<usize> = (0..self.rows.len()).collect();
+        order.sort_by(|&a, &b| {
+            for (ki, k) in keys.iter().enumerate() {
+                let ord = SortCell::total_cmp(decorated[a][ki], decorated[b][ki]);
                 let ord = if k.descending { ord.reverse() } else { ord };
                 if ord != std::cmp::Ordering::Equal {
                     return ord;
@@ -252,6 +296,7 @@ impl Relation {
             }
             std::cmp::Ordering::Equal
         });
+        let rows = order.into_iter().map(|i| self.rows[i].clone()).collect();
         Relation::new(self.columns.clone(), rows)
     }
 
@@ -280,7 +325,7 @@ impl Relation {
         let mut groups: Vec<(Vec<Value>, Vec<AggState>)> = Vec::new();
         let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
         for row in &self.rows {
-            let key: Vec<Value> = group_cols.iter().map(|&i| row[i].clone()).collect();
+            let key: Vec<Value> = group_cols.iter().map(|&i| row[i]).collect();
             let gi = *index.entry(key.clone()).or_insert_with(|| {
                 groups.push((key, aggs.iter().map(AggState::new).collect()));
                 groups.len() - 1
@@ -458,7 +503,7 @@ impl AggState {
                             None => true,
                         };
                         if better {
-                            *best = Some(val.clone());
+                            *best = Some(*val);
                         }
                     }
                 }
@@ -471,7 +516,7 @@ impl AggState {
                             None => true,
                         };
                         if better {
-                            *best = Some(val.clone());
+                            *best = Some(*val);
                         }
                     }
                 }

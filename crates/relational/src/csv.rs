@@ -59,7 +59,7 @@ pub fn coerce(field: &str, ty: DataType) -> Result<Value> {
             "false" | "f" | "0" | "no" => Ok(Value::Bool(false)),
             other => Err(Error::Parse(format!("`{other}` is not a boolean"))),
         },
-        DataType::Text => Ok(Value::Text(field.to_string())),
+        DataType::Text => Ok(Value::text(field)),
     }
 }
 
@@ -163,8 +163,9 @@ mod tests {
         .unwrap();
         assert_eq!(n, 2);
         let papers = d.table("Papers").unwrap();
-        assert_eq!(papers.rows()[0][2], "Usable, very".into());
-        assert_eq!(papers.rows()[0][3], Value::Null);
+        let first = papers.row(0).unwrap();
+        assert_eq!(first[2], "Usable, very".into());
+        assert_eq!(first[3], Value::Null);
     }
 
     #[test]

@@ -77,7 +77,7 @@ impl Database {
                 .map(|c| {
                     schema
                         .column_index(c)
-                        .map(|i| row.get(i).cloned().unwrap_or(Value::Null))
+                        .map(|i| row.get(i).copied().unwrap_or(Value::Null))
                         .ok_or_else(|| {
                             Error::Schema(format!("FK column `{c}` missing in `{table}`"))
                         })
@@ -102,10 +102,10 @@ impl Database {
                         })
                     })
                     .collect::<Result<_>>()?;
-                let found = target.rows().iter().any(|r| {
+                let found = (0..target.len()).any(|r| {
                     idxs.iter()
                         .zip(&referencing)
-                        .all(|(&i, v)| r[i].sql_eq(v) == Some(true))
+                        .all(|(&i, v)| target.value(r, i).sql_eq(v) == Some(true))
                 });
                 if !found {
                     return Err(Error::Constraint(format!(
@@ -127,6 +127,19 @@ impl Database {
     /// order is validated separately by [`Database::check_integrity`]).
     pub fn insert_unchecked(&mut self, table: &str, row: Row) -> Result<usize> {
         self.table_mut(table)?.insert(row)
+    }
+
+    /// Bulk columnar append without foreign-key checks: the batch is pushed
+    /// column-by-column with a single index invalidation (see
+    /// [`crate::table::Table::append_rows`]). Returns how many rows were
+    /// appended. The generator's bulk-load path; pair with
+    /// [`Database::check_integrity`] after loading in dependency order.
+    pub fn append_rows(
+        &mut self,
+        table: &str,
+        rows: impl IntoIterator<Item = Row>,
+    ) -> Result<usize> {
+        self.table_mut(table)?.append_rows(rows)
     }
 
     /// Verifies all foreign keys in the whole database.
@@ -153,19 +166,20 @@ impl Database {
                         })
                     })
                     .collect::<Result<_>>()?;
-                for row in table.rows() {
-                    let key: Vec<Value> = src_idx.iter().map(|&i| row[i].clone()).collect();
+                let src_cols: Vec<_> = src_idx.iter().map(|&i| table.column(i)).collect();
+                for row in 0..table.len() {
+                    let key: Vec<Value> = src_cols.iter().map(|c| c.get(row)).collect();
                     if key.iter().any(Value::is_null) {
                         continue;
                     }
                     let ok = if uses_pk {
-                        target.get_by_pk(&key).is_some()
+                        target.pk_row_index(&key).is_some()
                     } else {
-                        target.rows().iter().any(|r| {
+                        (0..target.len()).any(|r| {
                             tgt_idx
                                 .iter()
                                 .zip(&key)
-                                .all(|(&i, v)| r[i].sql_eq(v) == Some(true))
+                                .all(|(&i, v)| target.value(r, i).sql_eq(v) == Some(true))
                         })
                     };
                     if !ok {
@@ -192,9 +206,11 @@ impl Database {
         let target = self.table(table)?;
         let pk_idx = target.schema().primary_key_indices()?;
         let mut doomed: Vec<Vec<Value>> = Vec::new();
-        for row in target.rows() {
-            if pred.matches(row)? {
-                doomed.push(pk_idx.iter().map(|&i| row[i].clone()).collect());
+        let mut buf = Row::new();
+        for row in 0..target.len() {
+            target.read_row(row, &mut buf);
+            if pred.matches(&buf)? {
+                doomed.push(pk_idx.iter().map(|&i| buf[i]).collect());
             }
         }
         if doomed.is_empty() {
@@ -212,8 +228,9 @@ impl Database {
                     .map(|c| other.schema().column_index(c).expect("validated schema"))
                     .collect();
                 // FK must target the PK for this check to apply positionally.
-                for row in other.rows() {
-                    let key: Vec<Value> = ref_idx.iter().map(|&i| row[i].clone()).collect();
+                let ref_cols: Vec<_> = ref_idx.iter().map(|&i| other.column(i)).collect();
+                for row in 0..other.len() {
+                    let key: Vec<Value> = ref_cols.iter().map(|c| c.get(row)).collect();
                     if key.iter().any(Value::is_null) {
                         continue;
                     }
@@ -244,7 +261,7 @@ impl Database {
             .map(|(name, v)| {
                 schema
                     .column_index(name)
-                    .map(|i| (i, v.clone()))
+                    .map(|i| (i, *v))
                     .ok_or_else(|| Error::UnknownColumn(name.clone()))
             })
             .collect::<Result<_>>()?;

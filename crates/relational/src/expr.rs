@@ -189,9 +189,9 @@ impl Expr {
         match self {
             Expr::Column(i) => row
                 .get(*i)
-                .cloned()
+                .copied()
                 .ok_or_else(|| Error::Eval(format!("column index {i} out of range"))),
-            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Literal(v) => Ok(*v),
             other => {
                 // Predicates evaluate to a boolean value (NULL for UNKNOWN).
                 Ok(match other.eval_truth(row)? {
@@ -223,7 +223,7 @@ impl Expr {
                 let v = e.eval_value(row)?;
                 match v {
                     Value::Null => Ok(Truth::Unknown),
-                    Value::Text(s) => Ok(Truth::from_option(Some(like_match(&s, pattern)))),
+                    Value::Text(s) => Ok(Truth::from_option(Some(like_match(s.as_str(), pattern)))),
                     other => Err(Error::Eval(format!("LIKE on non-text value {other}"))),
                 }
             }
@@ -271,7 +271,7 @@ impl Expr {
     pub fn map_columns(&self, f: &impl Fn(usize) -> usize) -> Expr {
         match self {
             Expr::Column(i) => Expr::Column(f(*i)),
-            Expr::Literal(v) => Expr::Literal(v.clone()),
+            Expr::Literal(v) => Expr::Literal(*v),
             Expr::Cmp(op, a, b) => {
                 Expr::Cmp(*op, Box::new(a.map_columns(f)), Box::new(b.map_columns(f)))
             }

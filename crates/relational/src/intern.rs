@@ -1,0 +1,185 @@
+//! A process-wide string interner backing [`crate::value::Value::Text`].
+//!
+//! Every distinct text value in the engine is stored exactly once in a
+//! leaked arena and referred to by a compact [`Sym`] (a `u32`). This is what
+//! makes [`crate::value::Value`] `Copy`: rows are plain memcpys, hash-join
+//! and GROUP BY keys on text hash a machine word instead of a heap string,
+//! and the relational, TGM and presentation layers all share one arena, so
+//! translating a database re-uses the exact symbols the tables hold.
+//!
+//! Interned strings live for the rest of the process (`Box::leak`), which is
+//! the right trade-off for this workload: the corpus vocabulary (titles,
+//! names, keywords) is bounded and read many orders of magnitude more often
+//! than it is created.
+//!
+//! Ordering caveat: symbol ids are assigned in *first-intern* order, which
+//! has no relation to lexicographic order. [`Sym`] therefore deliberately
+//! does not implement `Ord`; ordered comparisons go through
+//! [`Sym::cmp_str`] (used by `Value::total_cmp`/`sql_cmp`), so ORDER BY and
+//! grouping results are identical to the pre-interning engine. Equality and
+//! hashing, by contrast, are safe on the id alone because the arena holds
+//! each string exactly once.
+
+use std::collections::HashMap;
+use std::sync::{LazyLock, RwLock};
+
+/// An interned string: a dense `u32` handle into the global arena.
+///
+/// `Sym` is `Copy`; equality and hashing compare ids (equal strings always
+/// receive equal ids). Resolve with [`Sym::as_str`]; display renders the
+/// underlying text.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(u32);
+
+struct Arena {
+    /// id -> string. Entries are never removed or mutated.
+    strings: Vec<&'static str>,
+    /// string -> id, for intern lookups.
+    ids: HashMap<&'static str, u32>,
+}
+
+static ARENA: LazyLock<RwLock<Arena>> = LazyLock::new(|| {
+    RwLock::new(Arena {
+        strings: Vec::new(),
+        ids: HashMap::new(),
+    })
+});
+
+impl Sym {
+    /// Interns `s`, returning its symbol. Equal strings always return equal
+    /// symbols; a string is copied into the arena only on first sight.
+    pub fn intern(s: &str) -> Sym {
+        if let Some(&id) = ARENA.read().expect("interner poisoned").ids.get(s) {
+            return Sym(id);
+        }
+        let mut arena = ARENA.write().expect("interner poisoned");
+        // Double-checked: another thread may have interned between locks.
+        if let Some(&id) = arena.ids.get(s) {
+            return Sym(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = u32::try_from(arena.strings.len()).expect("interner capacity exceeded");
+        arena.strings.push(leaked);
+        arena.ids.insert(leaked, id);
+        Sym(id)
+    }
+
+    /// The interned text. `'static` because arena entries are never freed.
+    pub fn as_str(self) -> &'static str {
+        ARENA.read().expect("interner poisoned").strings[self.0 as usize]
+    }
+
+    /// The raw arena id (stable for the life of the process).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Lexicographic comparison of the *strings* behind two symbols, with a
+    /// fast path for identical ids and a single arena read for the rest.
+    pub fn cmp_str(a: Sym, b: Sym) -> std::cmp::Ordering {
+        if a.0 == b.0 {
+            return std::cmp::Ordering::Equal;
+        }
+        let arena = ARENA.read().expect("interner poisoned");
+        arena.strings[a.0 as usize].cmp(arena.strings[b.0 as usize])
+    }
+}
+
+/// Number of distinct strings interned so far (diagnostics/tests).
+pub fn interned_count() -> usize {
+    ARENA.read().expect("interner poisoned").strings.len()
+}
+
+impl std::fmt::Debug for Sym {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Render the text, not the id: ids vary with intern order and would
+        // make test failure output unreadable.
+        write!(f, "Sym({:?})", self.as_str())
+    }
+}
+
+impl std::fmt::Display for Sym {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Sym {
+        Sym::intern(s)
+    }
+}
+
+impl From<&String> for Sym {
+    fn from(s: &String) -> Sym {
+        Sym::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_strings_get_equal_symbols() {
+        let a = Sym::intern("interner-test-alpha");
+        let b = Sym::intern("interner-test-alpha");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.as_str(), "interner-test-alpha");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let a = Sym::intern("interner-test-one");
+        let b = Sym::intern("interner-test-two");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cmp_str_is_lexicographic_not_id_order() {
+        // Intern in reverse lexicographic order so id order and string
+        // order disagree; cmp_str must follow the strings.
+        let z = Sym::intern("interner-test-zzz");
+        let a = Sym::intern("interner-test-aaa");
+        assert_eq!(Sym::cmp_str(a, z), std::cmp::Ordering::Less);
+        assert_eq!(Sym::cmp_str(z, a), std::cmp::Ordering::Greater);
+        assert_eq!(Sym::cmp_str(a, a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn interning_is_idempotent_for_count() {
+        let s = Sym::intern("interner-test-count");
+        let after_first = interned_count();
+        let t = Sym::intern("interner-test-count");
+        assert_eq!(s, t);
+        assert_eq!(interned_count(), after_first);
+    }
+
+    #[test]
+    fn debug_and_display_show_text() {
+        let s = Sym::intern("interner-test-show");
+        assert_eq!(format!("{s}"), "interner-test-show");
+        assert_eq!(format!("{s:?}"), "Sym(\"interner-test-show\")");
+    }
+
+    #[test]
+    fn threads_agree_on_symbols() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let shared = Sym::intern("interner-test-shared");
+                    let own = Sym::intern(&format!("interner-test-thread-{i}"));
+                    (shared, own)
+                })
+            })
+            .collect();
+        let results: Vec<(Sym, Sym)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let first = results[0].0;
+        assert!(results.iter().all(|(s, _)| *s == first));
+        let mut own: Vec<u32> = results.iter().map(|(_, o)| o.id()).collect();
+        own.sort_unstable();
+        own.dedup();
+        assert_eq!(own.len(), 8, "per-thread strings must stay distinct");
+    }
+}

@@ -6,8 +6,10 @@
 //!
 //! Provides:
 //!
-//! * typed scalar [`value::Value`]s and schemas with primary/foreign keys,
-//! * constraint-checked row storage with hash indexes,
+//! * typed scalar [`value::Value`]s (text interned through [`intern::Sym`])
+//!   and schemas with primary/foreign keys,
+//! * constraint-checked columnar storage ([`table::ColumnData`]) with hash
+//!   indexes and a row-facade API,
 //! * a relational algebra ([`algebra::Relation`]) with selection, projection,
 //!   hash/nested-loop joins, grouping and sorting,
 //! * a small SQL dialect ([`sql`]) with a greedy hash-join planner.
@@ -30,6 +32,7 @@ pub mod algebra;
 pub mod csv;
 pub mod database;
 pub mod expr;
+pub mod intern;
 pub mod schema;
 pub mod sql;
 pub mod table;

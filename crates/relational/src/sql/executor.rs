@@ -27,7 +27,7 @@ pub fn execute(db: &mut Database, sql: &str) -> Result<Relation> {
                     "plan",
                     crate::value::DataType::Text,
                 )],
-                lines.into_iter().map(|l| vec![Value::Text(l)]).collect(),
+                lines.into_iter().map(|l| vec![Value::from(l)]).collect(),
             ))
         }
         Statement::CreateTable {
@@ -96,14 +96,7 @@ fn resolve_single_table(
     table: &str,
     where_clause: Option<&SqlExpr>,
 ) -> Result<Expr> {
-    let columns = db
-        .table(table)?
-        .schema()
-        .columns
-        .iter()
-        .map(|c| crate::algebra::RelColumn::qualified(table, &c.name, c.data_type))
-        .collect();
-    let shape = Relation::new(columns, Vec::new());
+    let shape = Relation::new(Relation::table_columns(db.table(table)?, table), Vec::new());
     match where_clause {
         Some(w) => resolve_row_expr(w, &shape),
         None => Ok(Expr::Literal(Value::Bool(true))),
@@ -148,13 +141,13 @@ fn execute_query_traced(
         }
         aliases.push(alias);
     }
-    let mut relations: Vec<Option<Relation>> = refs
-        .iter()
-        .map(|r| {
-            db.table(&r.table)
-                .map(|t| Some(Relation::from_table(t, r.effective_alias())))
-        })
-        .collect::<Result<_>>()?;
+    // Validate every table reference now; materialization is deferred to
+    // the pushdown step so filtered base tables stream column-at-a-time
+    // out of storage instead of being cloned wholesale first.
+    for r in &refs {
+        db.table(&r.table)?;
+    }
+    let mut relations: Vec<Option<Relation>> = refs.iter().map(|_| None).collect();
 
     // 2. Gather conjuncts from WHERE and JOIN..ON.
     let mut conjuncts: Vec<&SqlExpr> = Vec::new();
@@ -221,25 +214,30 @@ fn execute_query_traced(
         }
     }
 
-    // 3. Push down single-table predicates.
+    // 3. Materialize base relations, pushing single-table predicates into
+    //    the columnar scan (filtered-out rows are never materialized).
     for (i, preds) in single.iter().enumerate() {
+        let table = db.table(&refs[i].table)?;
+        let alias = refs[i].effective_alias();
         if preds.is_empty() {
-            if let Some(rel) = relations[i].as_ref() {
-                log!("scan {} ({} rows)", aliases[i], rel.len());
-            }
+            let rel = Relation::from_table(table, alias);
+            log!("scan {} ({} rows)", aliases[i], rel.len());
+            relations[i] = Some(rel);
             continue;
         }
-        let rel = relations[i].take().expect("present");
-        let before = rel.len();
+        // Resolve the predicates against the scan's column shape (no rows
+        // needed for name resolution).
+        let shape = Relation::new(Relation::table_columns(table, alias), Vec::new());
+        let before = table.len();
         let mut combined: Option<Expr> = None;
         for p in preds {
-            let e = resolve_row_expr(p, &rel)?;
+            let e = resolve_row_expr(p, &shape)?;
             combined = Some(match combined {
                 Some(c) => c.and(e),
                 None => e,
             });
         }
-        let filtered = rel.select(&combined.expect("non-empty"))?;
+        let filtered = Relation::from_table_filtered(table, alias, &combined.expect("non-empty"))?;
         log!(
             "scan {} ({} rows) pushdown [{}] -> {} rows",
             aliases[i],
@@ -385,7 +383,7 @@ pub(crate) fn finish_query(q: &Query, current: Relation) -> Result<Relation> {
 pub(crate) fn resolve_row_expr(e: &SqlExpr, rel: &Relation) -> Result<Expr> {
     match e {
         SqlExpr::Column(name) => Ok(Expr::Column(rel.resolve(name)?)),
-        SqlExpr::Literal(v) => Ok(Expr::Literal(v.clone())),
+        SqlExpr::Literal(v) => Ok(Expr::Literal(*v)),
         SqlExpr::Aggregate { .. } => Err(Error::Eval(
             "aggregate not allowed in row context (WHERE/ON)".into(),
         )),
@@ -453,7 +451,7 @@ fn execute_plain(q: &Query, input: Relation) -> Result<Relation> {
                         alias.clone().unwrap_or_else(|| expr.to_string()),
                         ty,
                     ));
-                    picks.push(Pick::Lit(v.clone()));
+                    picks.push(Pick::Lit(*v));
                 }
                 other => {
                     return Err(Error::Eval(format!(
@@ -509,8 +507,8 @@ fn execute_plain(q: &Query, input: Relation) -> Result<Relation> {
             picks
                 .iter()
                 .map(|p| match p {
-                    Pick::Col(i) => r[*i].clone(),
-                    Pick::Lit(v) => v.clone(),
+                    Pick::Col(i) => r[*i],
+                    Pick::Lit(v) => *v,
                 })
                 .collect()
         })
@@ -746,7 +744,7 @@ fn resolve_group_expr(
                 "column `{name}` must appear in GROUP BY or an aggregate"
             )))
         }
-        SqlExpr::Literal(v) => Ok(Expr::Literal(v.clone())),
+        SqlExpr::Literal(v) => Ok(Expr::Literal(*v)),
         SqlExpr::Cmp(op, a, b) => Ok(Expr::Cmp(
             *op,
             Box::new(resolve_group_expr(a, q, grouped, n_keys, agg_keys)?),

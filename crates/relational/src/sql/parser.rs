@@ -277,7 +277,7 @@ impl Parser {
         match self.next() {
             Some(Token::Int(i)) => Ok(Value::Int(i)),
             Some(Token::Float(f)) => Ok(Value::Float(f)),
-            Some(Token::Str(s)) => Ok(Value::Text(s)),
+            Some(Token::Str(s)) => Ok(Value::from(s)),
             Some(Token::Ident(s)) if s.eq_ignore_ascii_case("null") => Ok(Value::Null),
             Some(Token::Ident(s)) if s.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
             Some(Token::Ident(s)) if s.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),

@@ -1,19 +1,222 @@
-//! Row storage for a single table, with a primary-key hash index and
+//! Columnar storage for a single table, with a primary-key hash index and
 //! optional secondary indexes.
+//!
+//! Rows are stored as typed per-column vectors ([`ColumnData`]) plus a null
+//! bitmap per column — text cells hold interned [`Sym`]bols, so a column of
+//! titles is a flat `Vec<u32>`-sized array rather than a vector of heap
+//! strings. The row-oriented API ([`Table::row`], [`Table::iter_rows`],
+//! [`Table::insert`]) is a facade that materializes [`Value`]s on demand;
+//! column-at-a-time consumers (the SQL executor's scans, the Appendix A
+//! translation) read [`ColumnStore`]s directly and never materialize rows
+//! they will discard.
 
+use crate::intern::Sym;
 use crate::schema::TableSchema;
-use crate::value::Value;
+use crate::value::{DataType, Value};
 use crate::{Error, Result};
 use std::collections::HashMap;
 
 /// A tuple of values, positionally matching the table's columns.
+///
+/// `Value` is `Copy`, so a `Row` is a flat memcpy-able buffer; it is the
+/// interchange format between the columnar store and row-oriented layers.
 pub type Row = Vec<Value>;
 
-/// In-memory storage for one table.
+/// A packed null bitmap (one bit per row).
+#[derive(Debug, Clone, Default)]
+pub struct NullBitmap {
+    bits: Vec<u64>,
+}
+
+impl NullBitmap {
+    /// Whether row `i` is NULL. Out-of-range reads are `false`.
+    pub fn get(&self, i: usize) -> bool {
+        self.bits
+            .get(i / 64)
+            .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+    }
+
+    fn set(&mut self, i: usize, null: bool) {
+        let word = i / 64;
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        if null {
+            self.bits[word] |= 1u64 << (i % 64);
+        } else {
+            self.bits[word] &= !(1u64 << (i % 64));
+        }
+    }
+}
+
+/// The typed body of one column. NULL positions hold an arbitrary
+/// placeholder; the [`NullBitmap`] is authoritative.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// `INT` column.
+    Int(Vec<i64>),
+    /// `FLOAT` column (also stores widened `INT` inserts).
+    Float(Vec<f64>),
+    /// `TEXT` column of interned symbols.
+    Sym(Vec<Sym>),
+    /// `BOOL` column.
+    Bool(Vec<bool>),
+}
+
+/// One column of a table: typed data plus its null bitmap.
+#[derive(Debug, Clone)]
+pub struct ColumnStore {
+    data: ColumnData,
+    nulls: NullBitmap,
+    len: usize,
+}
+
+impl ColumnStore {
+    /// An empty column of the given declared type.
+    pub fn new(ty: DataType) -> Self {
+        let data = match ty {
+            DataType::Int => ColumnData::Int(Vec::new()),
+            DataType::Float => ColumnData::Float(Vec::new()),
+            DataType::Text => ColumnData::Sym(Vec::new()),
+            DataType::Bool => ColumnData::Bool(Vec::new()),
+        };
+        ColumnStore {
+            data,
+            nulls: NullBitmap::default(),
+            len: 0,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the cell at `i` is NULL.
+    pub fn is_null(&self, i: usize) -> bool {
+        self.nulls.get(i)
+    }
+
+    /// The typed column body (column-at-a-time access). Check
+    /// [`ColumnStore::is_null`] before trusting a position.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Materializes the cell at `i` as a [`Value`].
+    ///
+    /// # Panics
+    /// If `i >= len`.
+    pub fn get(&self, i: usize) -> Value {
+        assert!(
+            i < self.len,
+            "column row {i} out of range (len {})",
+            self.len
+        );
+        if self.nulls.get(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Sym(v) => Value::Text(v[i]),
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+        }
+    }
+
+    /// Iterates the column as materialized [`Value`]s.
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len).map(|i| self.get(i))
+    }
+
+    /// Appends a value. The caller has already validated `fits`.
+    fn push(&mut self, v: &Value) {
+        let i = self.len;
+        self.len += 1;
+        if v.is_null() {
+            self.nulls.set(i, true);
+            match &mut self.data {
+                ColumnData::Int(d) => d.push(0),
+                ColumnData::Float(d) => d.push(0.0),
+                ColumnData::Sym(d) => d.push(Sym::intern("")),
+                ColumnData::Bool(d) => d.push(false),
+            }
+            return;
+        }
+        match (&mut self.data, v) {
+            (ColumnData::Int(d), Value::Int(x)) => d.push(*x),
+            (ColumnData::Float(d), Value::Float(x)) => d.push(*x),
+            // Int widened into a FLOAT column (Value::Int(2) == Float(2.0),
+            // so reads round-trip under value equality).
+            (ColumnData::Float(d), Value::Int(x)) => d.push(*x as f64),
+            (ColumnData::Sym(d), Value::Text(s)) => d.push(*s),
+            (ColumnData::Bool(d), Value::Bool(b)) => d.push(*b),
+            _ => unreachable!("insert validated the value against the column type"),
+        }
+    }
+
+    /// Overwrites the cell at `i`. The caller has already validated `fits`.
+    fn set(&mut self, i: usize, v: &Value) {
+        if v.is_null() {
+            self.nulls.set(i, true);
+            return;
+        }
+        self.nulls.set(i, false);
+        match (&mut self.data, v) {
+            (ColumnData::Int(d), Value::Int(x)) => d[i] = *x,
+            (ColumnData::Float(d), Value::Float(x)) => d[i] = *x,
+            (ColumnData::Float(d), Value::Int(x)) => d[i] = *x as f64,
+            (ColumnData::Sym(d), Value::Text(s)) => d[i] = *s,
+            (ColumnData::Bool(d), Value::Bool(b)) => d[i] = *b,
+            _ => unreachable!("update validated the value against the column type"),
+        }
+    }
+
+    /// Keeps only the rows whose `keep` flag is set, preserving order.
+    fn retain_mask(&mut self, keep: &[bool]) {
+        debug_assert_eq!(keep.len(), self.len);
+        fn retain<T: Copy>(d: &mut Vec<T>, keep: &[bool]) {
+            let mut w = 0usize;
+            for (r, &k) in keep.iter().enumerate() {
+                if k {
+                    d[w] = d[r];
+                    w += 1;
+                }
+            }
+            d.truncate(w);
+        }
+        match &mut self.data {
+            ColumnData::Int(d) => retain(d, keep),
+            ColumnData::Float(d) => retain(d, keep),
+            ColumnData::Sym(d) => retain(d, keep),
+            ColumnData::Bool(d) => retain(d, keep),
+        }
+        let mut nulls = NullBitmap::default();
+        let mut w = 0usize;
+        for (r, &k) in keep.iter().enumerate() {
+            if k {
+                nulls.set(w, self.nulls.get(r));
+                w += 1;
+            }
+        }
+        self.nulls = nulls;
+        self.len = w;
+    }
+}
+
+/// In-memory columnar storage for one table.
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: TableSchema,
-    rows: Vec<Row>,
+    cols: Vec<ColumnStore>,
+    len: usize,
+    /// Positions of the PK columns (cached from the schema).
+    pk_cols: Vec<usize>,
     /// PK value(s) -> row index. Only maintained when the schema has a PK.
     pk_index: HashMap<Vec<Value>, usize>,
     /// column position -> (value -> row indices), built on demand.
@@ -24,9 +227,17 @@ impl Table {
     /// Creates an empty table after validating the schema.
     pub fn new(schema: TableSchema) -> Result<Self> {
         schema.validate()?;
+        let pk_cols = schema.primary_key_indices()?;
+        let cols = schema
+            .columns
+            .iter()
+            .map(|c| ColumnStore::new(c.data_type))
+            .collect();
         Ok(Table {
             schema,
-            rows: Vec::new(),
+            cols,
+            len: 0,
+            pk_cols,
             pk_index: HashMap::new(),
             secondary: HashMap::new(),
         })
@@ -39,37 +250,67 @@ impl Table {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.len
     }
 
     /// True when the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len == 0
     }
 
-    /// All rows, in insertion order.
-    pub fn rows(&self) -> &[Row] {
-        &self.rows
-    }
-
-    /// Row by position.
-    pub fn row(&self, idx: usize) -> Option<&Row> {
-        self.rows.get(idx)
-    }
-
-    fn pk_key(&self, row: &Row) -> Result<Option<Vec<Value>>> {
-        if self.schema.primary_key.is_empty() {
-            return Ok(None);
-        }
-        let idx = self.schema.primary_key_indices()?;
-        Ok(Some(idx.iter().map(|&i| row[i].clone()).collect()))
-    }
-
-    /// Inserts a row, enforcing arity, type, nullability and PK uniqueness.
+    /// The column at position `col` (column-at-a-time access).
     ///
-    /// Foreign-key checks happen at the [`crate::database::Database`] level
-    /// because they need access to other tables.
-    pub fn insert(&mut self, row: Row) -> Result<usize> {
+    /// # Panics
+    /// If `col` is out of range.
+    pub fn column(&self, col: usize) -> &ColumnStore {
+        &self.cols[col]
+    }
+
+    /// Materializes the cell at (`row`, `col`).
+    ///
+    /// # Panics
+    /// If either index is out of range.
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        self.cols[col].get(row)
+    }
+
+    /// Materializes row `idx`, or `None` past the end.
+    pub fn row(&self, idx: usize) -> Option<Row> {
+        if idx >= self.len {
+            return None;
+        }
+        Some(self.cols.iter().map(|c| c.get(idx)).collect())
+    }
+
+    /// Overwrites `buf` with row `idx` (a reusable-buffer variant of
+    /// [`Table::row`] for scan loops).
+    ///
+    /// # Panics
+    /// If `idx` is out of range.
+    pub fn read_row(&self, idx: usize, buf: &mut Row) {
+        buf.clear();
+        buf.extend(self.cols.iter().map(|c| c.get(idx)));
+    }
+
+    /// Iterates all rows in insertion order, materializing each.
+    pub fn iter_rows(&self) -> impl Iterator<Item = Row> + '_ {
+        (0..self.len).map(|i| self.cols.iter().map(|c| c.get(i)).collect())
+    }
+
+    /// Materializes the whole table as rows (tests, bulk exports).
+    pub fn to_rows(&self) -> Vec<Row> {
+        self.iter_rows().collect()
+    }
+
+    fn pk_key(&self, row: &[Value]) -> Option<Vec<Value>> {
+        if self.pk_cols.is_empty() {
+            return None;
+        }
+        Some(self.pk_cols.iter().map(|&i| row[i]).collect())
+    }
+
+    /// Validates a row against arity, type and nullability constraints.
+    fn validate_row(&self, row: &[Value]) -> Result<()> {
         if row.len() != self.schema.arity() {
             return Err(Error::Constraint(format!(
                 "table `{}` expects {} values, got {}",
@@ -92,7 +333,12 @@ impl Table {
                 )));
             }
         }
-        if let Some(key) = self.pk_key(&row)? {
+        Ok(())
+    }
+
+    /// Registers a row's PK in the index (uniqueness + non-NULL checks).
+    fn index_pk(&mut self, row: &[Value], at: usize) -> Result<()> {
+        if let Some(key) = self.pk_key(row) {
             if key.iter().any(Value::is_null) {
                 return Err(Error::Constraint(format!(
                     "NULL primary key in table `{}`",
@@ -105,17 +351,49 @@ impl Table {
                     self.schema.name
                 )));
             }
-            self.pk_index.insert(key, self.rows.len());
+            self.pk_index.insert(key, at);
         }
+        Ok(())
+    }
+
+    /// Inserts a row, enforcing arity, type, nullability and PK uniqueness.
+    ///
+    /// Foreign-key checks happen at the [`crate::database::Database`] level
+    /// because they need access to other tables.
+    pub fn insert(&mut self, row: Row) -> Result<usize> {
+        self.validate_row(&row)?;
+        self.index_pk(&row, self.len)?;
         // Secondary indexes are invalidated by mutation; drop them lazily.
         self.secondary.clear();
-        self.rows.push(row);
-        Ok(self.rows.len() - 1)
+        for (c, v) in self.cols.iter_mut().zip(&row) {
+            c.push(v);
+        }
+        self.len += 1;
+        Ok(self.len - 1)
+    }
+
+    /// Bulk columnar append: validates and indexes every row, then pushes
+    /// column-by-column. One secondary-index invalidation for the whole
+    /// batch; constraint semantics are identical to repeated
+    /// [`Table::insert`] (rows before the failing row stay inserted).
+    pub fn append_rows(&mut self, rows: impl IntoIterator<Item = Row>) -> Result<usize> {
+        self.secondary.clear();
+        let mut n = 0usize;
+        for row in rows {
+            self.validate_row(&row)?;
+            self.index_pk(&row, self.len)?;
+            for (c, v) in self.cols.iter_mut().zip(&row) {
+                c.push(v);
+            }
+            self.len += 1;
+            n += 1;
+        }
+        Ok(n)
     }
 
     /// Looks up a row by its (possibly composite) primary-key value.
-    pub fn get_by_pk(&self, key: &[Value]) -> Option<&Row> {
-        self.pk_index.get(key).map(|&i| &self.rows[i])
+    pub fn get_by_pk(&self, key: &[Value]) -> Option<Row> {
+        self.pk_index.get(key).and_then(|&i| self.row(i))
     }
 
     /// Position of the row with the given primary key.
@@ -128,8 +406,8 @@ impl Table {
     pub fn lookup_indexed(&mut self, col: usize, key: &Value) -> &[usize] {
         if !self.secondary.contains_key(&col) {
             let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
-            for (i, r) in self.rows.iter().enumerate() {
-                map.entry(r[col].clone()).or_default().push(i);
+            for (i, v) in self.cols[col].iter().enumerate() {
+                map.entry(v).or_default().push(i);
             }
             self.secondary.insert(col, map);
         }
@@ -141,11 +419,15 @@ impl Table {
     }
 
     /// Scans for rows whose column `col` equals `key` without an index.
-    pub fn scan_eq(&self, col: usize, key: &Value) -> impl Iterator<Item = &Row> + '_ {
-        let key = key.clone();
-        self.rows
-            .iter()
-            .filter(move |r| r[col].sql_eq(&key) == Some(true))
+    pub fn scan_eq<'a>(&'a self, col: usize, key: &Value) -> impl Iterator<Item = Row> + 'a {
+        let key = *key;
+        (0..self.len).filter_map(move |i| {
+            if self.cols[col].get(i).sql_eq(&key) == Some(true) {
+                self.row(i)
+            } else {
+                None
+            }
+        })
     }
 
     /// Deletes all rows satisfying `pred`; returns how many were removed.
@@ -153,17 +435,22 @@ impl Table {
     /// Indexes are rebuilt. Referential integrity is the caller's concern
     /// ([`crate::database::Database::delete_where`] enforces it).
     pub fn delete_where(&mut self, pred: &crate::expr::Expr) -> Result<usize> {
-        let mut kept = Vec::with_capacity(self.rows.len());
+        let mut keep = Vec::with_capacity(self.len);
+        let mut buf = Row::new();
         let mut removed = 0usize;
-        for row in self.rows.drain(..) {
-            if pred.matches(&row)? {
-                removed += 1;
-            } else {
-                kept.push(row);
-            }
+        for i in 0..self.len {
+            self.read_row(i, &mut buf);
+            let matched = pred.matches(&buf)?;
+            keep.push(!matched);
+            removed += matched as usize;
         }
-        self.rows = kept;
-        self.rebuild_indexes()?;
+        if removed > 0 {
+            for c in &mut self.cols {
+                c.retain_mask(&keep);
+            }
+            self.len -= removed;
+            self.rebuild_indexes()?;
+        }
         Ok(removed)
     }
 
@@ -195,18 +482,25 @@ impl Table {
             }
         }
         let mut changed = 0usize;
-        let before = self.rows.clone();
-        for row in &mut self.rows {
-            if pred.matches(row)? {
-                for (col, v) in sets {
-                    row[*col] = v.clone();
+        let before = self.cols.clone();
+        let mut buf = Row::new();
+        let applied: Result<()> = (|| {
+            for i in 0..self.len {
+                self.read_row(i, &mut buf);
+                if pred.matches(&buf)? {
+                    for (col, v) in sets {
+                        self.cols[*col].set(i, v);
+                    }
+                    changed += 1;
                 }
-                changed += 1;
             }
-        }
-        if let Err(e) = self.rebuild_indexes() {
-            // PK collision introduced by the update: roll back.
-            self.rows = before;
+            self.rebuild_indexes()
+        })();
+        if let Err(e) = applied {
+            // Predicate evaluation error mid-scan or a PK collision
+            // introduced by the update: roll back so a failed statement
+            // never commits partial writes.
+            self.cols = before;
             self.rebuild_indexes().expect("previous state was valid");
             return Err(e);
         }
@@ -218,12 +512,11 @@ impl Table {
     fn rebuild_indexes(&mut self) -> Result<()> {
         self.secondary.clear();
         self.pk_index.clear();
-        if self.schema.primary_key.is_empty() {
+        if self.pk_cols.is_empty() {
             return Ok(());
         }
-        let idx = self.schema.primary_key_indices()?;
-        for (i, row) in self.rows.iter().enumerate() {
-            let key: Vec<Value> = idx.iter().map(|&c| row[c].clone()).collect();
+        for i in 0..self.len {
+            let key: Vec<Value> = self.pk_cols.iter().map(|&c| self.cols[c].get(i)).collect();
             if self.pk_index.insert(key.clone(), i).is_some() {
                 return Err(Error::Constraint(format!(
                     "duplicate primary key {key:?} in table `{}`",
@@ -235,13 +528,17 @@ impl Table {
     }
 
     /// Distinct values appearing in column `col` (used by the categorical
-    /// attribute heuristic of Appendix A).
+    /// attribute heuristic of Appendix A), in total order.
+    ///
+    /// Implemented as a decorated sort + dedup ([`crate::value::SortCell`])
+    /// so interned text compares without re-entering the arena lock per
+    /// comparison.
     pub fn distinct_values(&self, col: usize) -> Vec<Value> {
-        let mut seen = std::collections::BTreeSet::new();
-        for r in &self.rows {
-            seen.insert(r[col].clone());
-        }
-        seen.into_iter().collect()
+        use crate::value::SortCell;
+        let mut cells: Vec<SortCell> = self.cols[col].iter().map(SortCell::new).collect();
+        cells.sort_by(|&a, &b| SortCell::total_cmp(a, b));
+        cells.dedup_by(|a, b| SortCell::total_cmp(*a, *b) == std::cmp::Ordering::Equal);
+        cells.into_iter().map(SortCell::value).collect()
     }
 }
 
@@ -299,13 +596,12 @@ mod tests {
     fn secondary_index_matches_scan() {
         let mut t = make();
         for i in 0..10 {
-            t.insert(vec![i.into(), Value::Text(format!("n{}", i % 3))])
+            t.insert(vec![i.into(), Value::text(format!("n{}", i % 3))])
                 .unwrap();
         }
         let via_index: Vec<usize> = t.lookup_indexed(1, &"n1".into()).to_vec();
         let via_scan: Vec<usize> = t
-            .rows()
-            .iter()
+            .iter_rows()
             .enumerate()
             .filter(|(_, r)| r[1] == "n1".into())
             .map(|(i, _)| i)
@@ -332,5 +628,116 @@ mod tests {
             t.distinct_values(1),
             vec![Value::from("a"), Value::from("b")]
         );
+    }
+
+    #[test]
+    fn null_bitmap_round_trips_through_cells() {
+        let mut t = make();
+        t.insert(vec![1.into(), Value::Null]).unwrap();
+        t.insert(vec![2.into(), "x".into()]).unwrap();
+        t.insert(vec![3.into(), Value::Null]).unwrap();
+        assert!(t.value(0, 1).is_null());
+        assert_eq!(t.value(1, 1), "x".into());
+        assert!(t.value(2, 1).is_null());
+        assert!(t.column(1).is_null(0));
+        assert!(!t.column(1).is_null(1));
+        // NULLs participate in distinct_values (sorted first).
+        assert_eq!(t.distinct_values(1)[0], Value::Null);
+    }
+
+    #[test]
+    fn bulk_append_matches_repeated_insert() {
+        let mut a = make();
+        let mut b = make();
+        let rows: Vec<Row> = (0..20)
+            .map(|i| {
+                vec![
+                    i.into(),
+                    if i % 4 == 0 {
+                        Value::Null
+                    } else {
+                        Value::text(format!("v{}", i % 3))
+                    },
+                ]
+            })
+            .collect();
+        for r in &rows {
+            a.insert(r.clone()).unwrap();
+        }
+        b.append_rows(rows).unwrap();
+        assert_eq!(a.to_rows(), b.to_rows());
+        assert_eq!(a.pk_row_index(&[7.into()]), b.pk_row_index(&[7.into()]));
+    }
+
+    #[test]
+    fn bulk_append_rejects_duplicate_pk_mid_batch() {
+        let mut t = make();
+        let err = t.append_rows(vec![
+            vec![1.into(), "a".into()],
+            vec![1.into(), "b".into()],
+            vec![2.into(), "c".into()],
+        ]);
+        assert!(err.is_err());
+        // Rows before the failure stayed, as with repeated insert.
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn int_widens_into_float_column() {
+        let mut t = Table::new(TableSchema::new(
+            "F",
+            vec![Column::new("x", DataType::Float)],
+        ))
+        .unwrap();
+        t.insert(vec![Value::Int(2)]).unwrap();
+        t.insert(vec![Value::Float(2.5)]).unwrap();
+        // The widened cell reads back as Float(2.0), which compares (and
+        // hashes) equal to the Int(2) that was inserted.
+        assert_eq!(t.value(0, 0), Value::Float(2.0));
+        assert_eq!(t.value(0, 0), Value::Int(2));
+        assert_eq!(t.value(1, 0), Value::Float(2.5));
+    }
+
+    #[test]
+    fn update_where_rolls_back_on_predicate_error() {
+        use crate::expr::Expr;
+        let mut t = Table::new(
+            TableSchema::new(
+                "U",
+                vec![
+                    Column::new("id", DataType::Int),
+                    Column::nullable("y", DataType::Int),
+                    Column::new("z", DataType::Int),
+                ],
+            )
+            .with_primary_key(&["id"]),
+        )
+        .unwrap();
+        t.insert(vec![1.into(), Value::Null, 1.into()]).unwrap();
+        t.insert(vec![2.into(), 5.into(), 0.into()]).unwrap();
+        let before = t.to_rows();
+        // Row 1 matches via `z = 1` (NULL LIKE is UNKNOWN, OR true = true)
+        // and is updated before row 2's `y LIKE` errors on an INT; the
+        // whole statement must then roll back.
+        let pred = Expr::col(1).like("a%").or(Expr::col(2).eq(Expr::lit(1)));
+        let err = t.update_where(&pred, &[(2, Value::Int(9))]);
+        assert!(err.is_err());
+        assert_eq!(
+            t.to_rows(),
+            before,
+            "failed update must not commit partial writes"
+        );
+    }
+
+    #[test]
+    fn scan_eq_finds_matches() {
+        let mut t = make();
+        t.insert(vec![1.into(), "a".into()]).unwrap();
+        t.insert(vec![2.into(), "b".into()]).unwrap();
+        t.insert(vec![3.into(), "a".into()]).unwrap();
+        let hits: Vec<Row> = t.scan_eq(1, &"a".into()).collect();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0][0], 1.into());
+        assert_eq!(hits[1][0], 3.into());
     }
 }

@@ -3,7 +3,14 @@
 //! The paper's academic database (Figure 3) only needs integers and text, but
 //! the engine supports the usual scalar types so that arbitrary schemas can be
 //! translated into the typed graph model.
+//!
+//! Text values are interned ([`crate::intern`]): `Value::Text` holds a
+//! compact [`Sym`], which makes `Value` a 16-byte `Copy` type. All ordering
+//! over text resolves through the arena, so sort/group results are byte-wise
+//! identical to a `String`-backed engine; only equality and hashing take the
+//! symbol-id fast path.
 
+use crate::intern::Sym;
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -37,7 +44,7 @@ impl fmt::Display for DataType {
 /// SQL three-valued logic at the expression layer ([`crate::expr`]); `Value`
 /// itself provides a *total* order (with `Null` first) so values can be used
 /// as sort and grouping keys.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub enum Value {
     /// SQL NULL.
     Null,
@@ -45,13 +52,18 @@ pub enum Value {
     Int(i64),
     /// Float value.
     Float(f64),
-    /// Text value.
-    Text(String),
+    /// Interned text value.
+    Text(Sym),
     /// Boolean value.
     Bool(bool),
 }
 
 impl Value {
+    /// Builds a text value, interning the string.
+    pub fn text(s: impl AsRef<str>) -> Value {
+        Value::Text(Sym::intern(s.as_ref()))
+    }
+
     /// Returns the type of this value, or `None` for `Null`.
     pub fn data_type(&self) -> Option<DataType> {
         match self {
@@ -100,9 +112,9 @@ impl Value {
     }
 
     /// Interprets the value as text.
-    pub fn as_text(&self) -> Option<&str> {
+    pub fn as_text(&self) -> Option<&'static str> {
         match self {
-            Value::Text(s) => Some(s),
+            Value::Text(s) => Some(s.as_str()),
             _ => None,
         }
     }
@@ -124,7 +136,7 @@ impl Value {
             (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
             (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
             (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
-            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Text(a), Value::Text(b)) => Some(Sym::cmp_str(*a, *b)),
             (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
             _ => None,
         }
@@ -132,13 +144,18 @@ impl Value {
 
     /// SQL equality: `None` (UNKNOWN) when either side is `Null`.
     pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        // Text fast path: interned symbols are equal iff the strings are.
+        if let (Value::Text(a), Value::Text(b)) = (self, other) {
+            return Some(a == b);
+        }
         self.sql_cmp(other).map(|o| o == Ordering::Equal)
     }
 
     /// Total ordering used for ORDER BY and grouping keys.
     ///
     /// `Null` sorts before everything; values of different types sort by a
-    /// fixed type rank (numbers < text < bool) so the order is total.
+    /// fixed type rank (numbers < text < bool) so the order is total. Text
+    /// compares by string content (never by symbol id).
     pub fn total_cmp(&self, other: &Value) -> Ordering {
         fn rank(v: &Value) -> u8 {
             match v {
@@ -154,15 +171,58 @@ impl Value {
             (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
             (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
             (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
-            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (Value::Text(a), Value::Text(b)) => Sym::cmp_str(*a, *b),
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
             _ => rank(self).cmp(&rank(other)),
         }
     }
 }
 
+/// A [`Value`] paired with its resolved text, for sort/dedup loops.
+///
+/// Comparing interned text through [`Value::total_cmp`] takes a read lock
+/// on the global arena per comparison; an `O(n log n)` sort over a text
+/// column would re-enter the lock on every probe. `SortCell` resolves each
+/// cell once (one arena read per row) so the comparator itself never
+/// touches the interner. The order is exactly [`Value::total_cmp`].
+#[derive(Debug, Clone, Copy)]
+pub struct SortCell {
+    value: Value,
+    text: Option<&'static str>,
+}
+
+impl SortCell {
+    /// Decorates a value, resolving its text if it has any.
+    pub fn new(value: Value) -> Self {
+        SortCell {
+            value,
+            text: value.as_text(),
+        }
+    }
+
+    /// The undecorated value.
+    pub fn value(self) -> Value {
+        self.value
+    }
+
+    /// [`Value::total_cmp`] without arena reads: two text cells compare
+    /// their pre-resolved strings; every other pairing never reaches the
+    /// arena inside `total_cmp` anyway.
+    pub fn total_cmp(a: SortCell, b: SortCell) -> Ordering {
+        match (a.text, b.text) {
+            (Some(x), Some(y)) => x.cmp(y),
+            _ => a.value.total_cmp(&b.value),
+        }
+    }
+}
+
 impl PartialEq for Value {
     fn eq(&self, other: &Self) -> bool {
+        // Text fast path on symbol ids; everything else through the total
+        // order (which makes Int(2) == Float(2.0), as before interning).
+        if let (Value::Text(a), Value::Text(b)) = (self, other) {
+            return a == b;
+        }
         self.total_cmp(other) == Ordering::Equal
     }
 }
@@ -200,9 +260,12 @@ impl std::hash::Hash for Value {
                     f.to_bits().hash(state);
                 }
             }
+            // Symbol ids are in bijection with strings, so hashing the id
+            // is consistent with string equality — and turns text join /
+            // group keys into word-sized hashes.
             Value::Text(s) => {
                 3u8.hash(state);
-                s.hash(state);
+                s.id().hash(state);
             }
             Value::Bool(b) => {
                 4u8.hash(state);
@@ -244,13 +307,13 @@ impl From<f64> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Text(v.to_string())
+        Value::text(v)
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Text(v)
+        Value::text(&v)
     }
 }
 
@@ -307,10 +370,22 @@ mod tests {
     }
 
     #[test]
+    fn eq_and_hash_agree_for_interned_text() {
+        let a = Value::text("value-test-same");
+        let b = Value::text("value-test-same");
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+        assert_ne!(
+            Value::text("value-test-same"),
+            Value::text("value-test-other")
+        );
+    }
+
+    #[test]
     fn fits_allows_widening_and_null() {
         assert!(Value::Int(1).fits(DataType::Float));
         assert!(Value::Null.fits(DataType::Text));
-        assert!(!Value::Text("x".into()).fits(DataType::Int));
+        assert!(!Value::text("x").fits(DataType::Int));
     }
 
     #[test]
@@ -324,8 +399,66 @@ mod tests {
     fn accessors() {
         assert_eq!(Value::Int(5).as_int(), Some(5));
         assert_eq!(Value::Int(5).as_float(), Some(5.0));
-        assert_eq!(Value::Text("a".into()).as_text(), Some("a"));
+        assert_eq!(Value::text("a").as_text(), Some("a"));
         assert_eq!(Value::Bool(true).as_bool(), Some(true));
         assert_eq!(Value::Null.as_int(), None);
+    }
+
+    /// Pin: text ordering follows the *strings*, never the intern order.
+    /// Symbols are deliberately created in reverse lexicographic order so
+    /// an id-based comparison would invert every assertion below.
+    #[test]
+    fn text_total_order_is_lexicographic_despite_intern_order() {
+        let later = Value::text("value-order-zz");
+        let middle = Value::text("value-order-mm");
+        let first = Value::text("value-order-aa");
+        // Intern order was zz, mm, aa — ids ascend in that order.
+        assert_eq!(first.total_cmp(&later), Ordering::Less);
+        assert_eq!(middle.total_cmp(&later), Ordering::Less);
+        assert_eq!(first.sql_cmp(&middle), Some(Ordering::Less));
+        let mut v = vec![later, first, Value::Null, middle];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Value::Null,
+                Value::text("value-order-aa"),
+                Value::text("value-order-mm"),
+                Value::text("value-order-zz"),
+            ]
+        );
+    }
+
+    /// Pin: ORDER BY / GROUP BY keys built from mixed types keep the
+    /// `Null < numbers < text < bool` rank order with interned text.
+    #[test]
+    fn mixed_type_sort_keys_keep_rank_order() {
+        let mut v = vec![
+            Value::Bool(false),
+            Value::text("value-rank-b"),
+            Value::Float(2.5),
+            Value::Null,
+            Value::text("value-rank-a"),
+            Value::Int(9),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Value::Null,
+                Value::Float(2.5),
+                Value::Int(9),
+                Value::text("value-rank-a"),
+                Value::text("value-rank-b"),
+                Value::Bool(false),
+            ]
+        );
+    }
+
+    #[test]
+    fn value_is_copy_and_small() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<Value>();
+        assert!(std::mem::size_of::<Value>() <= 16);
     }
 }

@@ -545,10 +545,15 @@ pub fn translate(db: &Database, opts: &TranslateOptions) -> Result<Tgdb> {
             .column_index(&tschema.primary_key[0])
             .expect("entity pk exists");
         let index = pk_index.entry(nt).or_default();
-        for row in table.rows() {
-            let values: Vec<Value> = attr_cols.iter().map(|&i| row[i].clone()).collect();
+        // Stream the attribute and PK columns directly out of columnar
+        // storage: no full-row materialization, and every text attribute
+        // re-uses the symbol the table already interned.
+        let cols: Vec<_> = attr_cols.iter().map(|&i| table.column(i)).collect();
+        let pk = table.column(pk_col);
+        for r in 0..table.len() {
+            let values: Vec<Value> = cols.iter().map(|c| c.get(r)).collect();
             let node = instances.add_node(nt, values);
-            index.insert(row[pk_col].clone(), node);
+            index.insert(pk.get(r), node);
         }
     }
 
@@ -560,16 +565,16 @@ pub fn translate(db: &Database, opts: &TranslateOptions) -> Result<Tgdb> {
         let pk_idx = tschema
             .column_index(&tschema.primary_key[0])
             .expect("entity pk");
-        for row in table.rows() {
-            if row[fk_idx].is_null() {
+        let fks = table.column(fk_idx);
+        let pks = table.column(pk_idx);
+        for r in 0..table.len() {
+            if fks.is_null(r) {
                 continue;
             }
-            let src = pk_index[src_ty][&row[pk_idx]];
-            let tgt = *pk_index[tgt_ty].get(&row[fk_idx]).ok_or_else(|| {
-                Error::Integrity(format!(
-                    "dangling FK {table_name}.{fk_col} = {}",
-                    row[fk_idx]
-                ))
+            let fk_val = fks.get(r);
+            let src = pk_index[src_ty][&pks.get(r)];
+            let tgt = *pk_index[tgt_ty].get(&fk_val).ok_or_else(|| {
+                Error::Integrity(format!("dangling FK {table_name}.{fk_col} = {fk_val}"))
             })?;
             instances.add_edge(&schema, *et, src, tgt);
         }
@@ -581,15 +586,15 @@ pub fn translate(db: &Database, opts: &TranslateOptions) -> Result<Tgdb> {
         let tschema = table.schema();
         let li = tschema.column_index(left_col).expect("left fk");
         let ri = tschema.column_index(right_col).expect("right fk");
-        for row in table.rows() {
-            let src = *pk_index[left_ty].get(&row[li]).ok_or_else(|| {
-                Error::Integrity(format!("dangling FK {table_name}.{left_col} = {}", row[li]))
+        let lc = table.column(li);
+        let rc = table.column(ri);
+        for r in 0..table.len() {
+            let (lv, rv) = (lc.get(r), rc.get(r));
+            let src = *pk_index[left_ty].get(&lv).ok_or_else(|| {
+                Error::Integrity(format!("dangling FK {table_name}.{left_col} = {lv}"))
             })?;
-            let tgt = *pk_index[right_ty].get(&row[ri]).ok_or_else(|| {
-                Error::Integrity(format!(
-                    "dangling FK {table_name}.{right_col} = {}",
-                    row[ri]
-                ))
+            let tgt = *pk_index[right_ty].get(&rv).ok_or_else(|| {
+                Error::Integrity(format!("dangling FK {table_name}.{right_col} = {rv}"))
             })?;
             instances.add_edge(&schema, *et, src, tgt);
         }
@@ -606,17 +611,20 @@ pub fn translate(db: &Database, opts: &TranslateOptions) -> Result<Tgdb> {
             if v.is_null() {
                 continue;
             }
-            let node = instances.add_node(*vt, vec![v.clone()]);
+            let node = instances.add_node(*vt, vec![v]);
             value_nodes.insert(v, node);
         }
-        for row in table.rows() {
-            if row[vi].is_null() {
+        let fc = table.column(fi);
+        let vc = table.column(vi);
+        for r in 0..table.len() {
+            if vc.is_null(r) {
                 continue;
             }
-            let src = *pk_index[owner_ty].get(&row[fi]).ok_or_else(|| {
-                Error::Integrity(format!("dangling FK {table_name}.{fk_col} = {}", row[fi]))
+            let fv = fc.get(r);
+            let src = *pk_index[owner_ty].get(&fv).ok_or_else(|| {
+                Error::Integrity(format!("dangling FK {table_name}.{fk_col} = {fv}"))
             })?;
-            instances.add_edge(&schema, *et, src, value_nodes[&row[vi]]);
+            instances.add_edge(&schema, *et, src, value_nodes[&vc.get(r)]);
         }
     }
 
@@ -633,15 +641,17 @@ pub fn translate(db: &Database, opts: &TranslateOptions) -> Result<Tgdb> {
             if v.is_null() {
                 continue;
             }
-            let node = instances.add_node(*vt, vec![v.clone()]);
+            let node = instances.add_node(*vt, vec![v]);
             value_nodes.insert(v, node);
         }
-        for row in table.rows() {
-            if row[ci].is_null() {
+        let cc = table.column(ci);
+        let pks = table.column(pk_idx);
+        for r in 0..table.len() {
+            if cc.is_null(r) {
                 continue;
             }
-            let src = pk_index[owner_ty][&row[pk_idx]];
-            instances.add_edge(&schema, *et, src, value_nodes[&row[ci]]);
+            let src = pk_index[owner_ty][&pks.get(r)];
+            instances.add_edge(&schema, *et, src, value_nodes[&cc.get(r)]);
         }
     }
 

@@ -137,7 +137,7 @@ fn neighbor_counts_are_join_counts() {
     let (ae, _) = tgdb.schema.outgoing_by_name(papers, "Authors").unwrap();
     let pa = db.table("Paper_Authors").unwrap();
     let mut per_paper: std::collections::HashMap<i64, usize> = std::collections::HashMap::new();
-    for row in pa.rows() {
+    for row in pa.iter_rows() {
         *per_paper.entry(row[0].as_int().unwrap()).or_default() += 1;
     }
     for &node in tgdb.instances.nodes_of_type(papers) {

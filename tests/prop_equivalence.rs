@@ -234,10 +234,10 @@ fn random_filters_never_crash_value_comparisons() {
             0 => Value::Null,
             1 => Value::Int(rng.gen_range(-5..5)),
             2 => Value::Float(rng.gen_range(-3.0..3.0)),
-            3 => Value::Text(
+            3 => Value::text(
                 (0..rng.gen_range(0..3))
                     .map(|_| (b'a' + rng.gen_range(0..3u8)) as char)
-                    .collect(),
+                    .collect::<String>(),
             ),
             _ => Value::Bool(rng.gen_range(0..2) == 1),
         }
