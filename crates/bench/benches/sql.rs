@@ -1,0 +1,85 @@
+//! SQL executor benchmarks for the grouped/sorted/scan hot paths: the
+//! vectorized single-table group scan, rank-keyed ORDER BY and MIN/MAX on
+//! text, the sharded parallel pushdown scan, and the join + grouped tail.
+//!
+//! These are the paths `table1`/`fig1` regeneration leans on; their medians
+//! feed `BENCH_results.json` and are pinned by the committed
+//! `BENCH_baseline.json` regression gate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etable_datagen::{generate, GenConfig};
+use etable_relational::sql::executor::execute_query;
+use etable_relational::sql::{parse_statement, Query, Statement};
+
+fn parse(sql: &str) -> Query {
+    match parse_statement(sql).expect("benchmark SQL parses") {
+        Statement::Select(q) => q,
+        other => panic!("benchmark SQL must be a SELECT, got {other:?}"),
+    }
+}
+
+fn bench_sql(c: &mut Criterion) {
+    // Pin the scan pool so the numbers do not drift with load-dependent
+    // scheduling (the override changes timing only, never results — see
+    // `etable_relational::scan`), but never force more workers than the
+    // host can actually run: on a single-core container a forced pool
+    // would measure spawn overhead, not the engine. An explicit
+    // ETABLE_SCAN_THREADS in the environment wins, for pool-size sweeps.
+    if std::env::var_os("ETABLE_SCAN_THREADS").is_none() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        std::env::set_var("ETABLE_SCAN_THREADS", cores.min(4).to_string());
+    }
+    let db = generate(&GenConfig::medium());
+    let cases: &[(&str, &str)] = &[
+        // Vectorized group scan (single table, no pushdown).
+        (
+            "group_count_year",
+            "SELECT year, COUNT(*) AS n FROM Papers GROUP BY year ORDER BY n DESC, year",
+        ),
+        // MIN/MAX on interned text compare dictionary ranks.
+        (
+            "group_minmax_title",
+            "SELECT conference_id, MIN(title) AS lo, MAX(title) AS hi \
+             FROM Papers GROUP BY conference_id",
+        ),
+        // Pushdown selection vector feeding the group scan.
+        (
+            "filter_group_year",
+            "SELECT year, COUNT(*) AS n FROM Papers WHERE year >= 2005 GROUP BY year",
+        ),
+        // Rank-keyed ORDER BY over a text column.
+        (
+            "order_by_title",
+            "SELECT title FROM Papers ORDER BY title LIMIT 50",
+        ),
+        // Sharded parallel LIKE scan.
+        (
+            "scan_like_title",
+            "SELECT id FROM Papers WHERE title LIKE '%data%'",
+        ),
+        // Hash join + grouped tail + ORDER BY with ties broken by name.
+        (
+            "join_group_author",
+            "SELECT a.name, COUNT(*) AS n FROM Authors a, Paper_Authors pa \
+             WHERE a.id = pa.author_id GROUP BY a.name ORDER BY n DESC, a.name LIMIT 10",
+        ),
+    ];
+    let mut group = c.benchmark_group("sql");
+    // These medians feed the baseline regression gate; more samples keep
+    // the IQR fence meaningful on a noisy machine.
+    group.sample_size(30);
+    for (name, sql) in cases {
+        let q = parse(sql);
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                execute_query(&db, &q)
+                    .expect("benchmark query executes")
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sql);
+criterion_main!(benches);

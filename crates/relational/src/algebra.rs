@@ -100,24 +100,21 @@ impl Relation {
     /// Builds a relation from a stored table, keeping only rows satisfying
     /// `pred` (resolved against this relation's column order).
     ///
-    /// This is the executor's pushdown scan: the predicate streams over the
-    /// columnar storage through one reusable row buffer, so rows that fail
-    /// the filter are never materialized into the output.
+    /// This is the executor's pushdown scan: the table is sharded into
+    /// fixed-size chunks evaluated on the scan worker pool
+    /// ([`crate::scan`]), and rows that fail the filter are never
+    /// materialized into the output. Chunk results merge in chunk order, so
+    /// output rows (and any predicate error) are identical to a sequential
+    /// scan for every pool size.
     pub fn from_table_filtered(
         table: &crate::table::Table,
         alias: &str,
         pred: &Expr,
     ) -> Result<Relation> {
-        let columns = Self::table_columns(table, alias);
-        let mut rows = Vec::new();
-        let mut buf: Row = Vec::with_capacity(columns.len());
-        for i in 0..table.len() {
-            table.read_row(i, &mut buf);
-            if pred.matches(&buf)? {
-                rows.push(buf.clone());
-            }
-        }
-        Ok(Relation::new(columns, rows))
+        Ok(Relation::new(
+            Self::table_columns(table, alias),
+            crate::scan::filter_rows(table, pred)?,
+        ))
     }
 
     /// Number of rows.
@@ -274,21 +271,25 @@ impl Relation {
         Relation::new(columns, rows)
     }
 
-    /// Sorts rows by the given keys (stable).
+    /// Sorts rows by the given keys (stable; ties keep input order).
     ///
-    /// Sort-key cells are decorated once per row ([`SortCell`]) so text
-    /// comparisons never take the interner lock inside the comparator.
+    /// Sort-key cells are hoisted once into a flat rank-decorated key
+    /// column ([`SortCell`] over one [`crate::intern::RankMap`] snapshot),
+    /// so the comparator compares machine words and never touches the
+    /// interner — there is no string-resolving fallback inside the sort.
     pub fn sort_by(&self, keys: &[SortKey]) -> Relation {
         use crate::value::SortCell;
-        let decorated: Vec<Vec<SortCell>> = self
-            .rows
-            .iter()
-            .map(|r| keys.iter().map(|k| SortCell::new(r[k.column])).collect())
-            .collect();
+        let ranks = crate::intern::rank_map();
+        let stride = keys.len();
+        let mut decorated: Vec<SortCell> = Vec::with_capacity(self.rows.len() * stride);
+        for r in &self.rows {
+            decorated.extend(keys.iter().map(|k| SortCell::new(r[k.column], &ranks)));
+        }
         let mut order: Vec<usize> = (0..self.rows.len()).collect();
         order.sort_by(|&a, &b| {
             for (ki, k) in keys.iter().enumerate() {
-                let ord = SortCell::total_cmp(decorated[a][ki], decorated[b][ki]);
+                let ord =
+                    SortCell::total_cmp(decorated[a * stride + ki], decorated[b * stride + ki]);
                 let ord = if k.descending { ord.reverse() } else { ord };
                 if ord != std::cmp::Ordering::Equal {
                     return ord;
@@ -316,55 +317,183 @@ impl Relation {
         )
     }
 
-    /// GROUP BY + aggregates.
+    /// GROUP BY + aggregates over this (already materialized) relation.
     ///
     /// `group_cols` are the grouping key positions; each aggregate consumes
     /// an input column (or `None` for `COUNT(*)`). Output columns are the
-    /// group keys followed by one column per aggregate.
+    /// group keys followed by one column per aggregate; groups appear in
+    /// first-occurrence order.
     pub fn group_by(&self, group_cols: &[usize], aggs: &[AggSpec]) -> Result<Relation> {
-        let mut groups: Vec<(Vec<Value>, Vec<AggState>)> = Vec::new();
-        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
-        for row in &self.rows {
-            let key: Vec<Value> = group_cols.iter().map(|&i| row[i]).collect();
-            let gi = *index.entry(key.clone()).or_insert_with(|| {
-                groups.push((key, aggs.iter().map(AggState::new).collect()));
-                groups.len() - 1
-            });
-            for (state, spec) in groups[gi].1.iter_mut().zip(aggs) {
-                let v = spec.input.map(|c| &row[c]);
-                state.update(v)?;
-            }
-        }
-        // Empty input with no grouping keys still yields a single group for
-        // aggregates, matching SQL semantics.
-        if groups.is_empty() && group_cols.is_empty() && !aggs.is_empty() {
-            groups.push((Vec::new(), aggs.iter().map(AggState::new).collect()));
-        }
-        let mut columns: Vec<RelColumn> = group_cols
-            .iter()
-            .map(|&i| self.columns[i].clone())
-            .collect();
-        for spec in aggs {
-            let ty = match spec.func {
-                AggFunc::Count => DataType::Int,
-                AggFunc::Avg => DataType::Float,
-                AggFunc::Sum | AggFunc::Min | AggFunc::Max => spec
-                    .input
-                    .map(|c| self.columns[c].data_type)
-                    .unwrap_or(DataType::Int),
-            };
-            columns.push(RelColumn::bare(spec.output_name.clone(), ty));
-        }
-        let rows = groups
-            .into_iter()
-            .map(|(key, states)| {
-                let mut out = key;
-                out.extend(states.into_iter().map(AggState::finish));
-                out
-            })
-            .collect();
-        Ok(Relation::new(columns, rows))
+        group_core(
+            self.rows.len(),
+            |r, c| self.rows[r][c],
+            &self.columns,
+            group_cols,
+            aggs,
+        )
     }
+
+    /// GROUP BY + aggregates streamed straight off a stored table's
+    /// columnar storage — the vectorized aggregation path.
+    ///
+    /// `shape` carries the output column metadata a scan of the table would
+    /// produce ([`Relation::table_columns`]); `sel` is an optional
+    /// selection vector of row indices from a filtered scan (`None` means
+    /// every row). Key cells and aggregate inputs are read column-at-a-time
+    /// from the [`ColumnStore`](crate::table::ColumnStore)s; no
+    /// intermediate `Vec<Value>` row is ever built. Semantics (grouping,
+    /// NULL handling, output order) are identical to materializing the
+    /// scan and calling [`Relation::group_by`].
+    pub fn group_scan(
+        table: &crate::table::Table,
+        shape: &Relation,
+        sel: Option<&[usize]>,
+        group_cols: &[usize],
+        aggs: &[AggSpec],
+    ) -> Result<Relation> {
+        let cols: Vec<&crate::table::ColumnStore> =
+            (0..shape.columns.len()).map(|i| table.column(i)).collect();
+        let n_rows = sel.map_or(table.len(), <[usize]>::len);
+        group_core(
+            n_rows,
+            |r, c| cols[c].get(sel.map_or(r, |s| s[r])),
+            &shape.columns,
+            group_cols,
+            aggs,
+        )
+    }
+}
+
+/// A packed grouping key. Single- and two-column keys (the overwhelmingly
+/// common shapes) are inline `Copy` data; only wider keys heap-allocate.
+/// Equality and hashing delegate to [`Value`], so `Int(2)` and
+/// `Float(2.0)` land in the same group exactly as before.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum GroupKey {
+    One(Value),
+    Two([Value; 2]),
+    Wide(Box<[Value]>),
+}
+
+impl GroupKey {
+    fn read(group_cols: &[usize], cell: impl Fn(usize) -> Value) -> GroupKey {
+        match group_cols {
+            [a] => GroupKey::One(cell(*a)),
+            [a, b] => GroupKey::Two([cell(*a), cell(*b)]),
+            wide => GroupKey::Wide(wide.iter().map(|&c| cell(c)).collect()),
+        }
+    }
+
+    /// The packed key cells, for filling the group-key arena without
+    /// re-reading the input columns.
+    fn values(&self) -> &[Value] {
+        match self {
+            GroupKey::One(v) => std::slice::from_ref(v),
+            GroupKey::Two(vs) => vs,
+            GroupKey::Wide(vs) => vs,
+        }
+    }
+}
+
+/// The shared vectorized grouping kernel behind [`Relation::group_by`] and
+/// [`Relation::group_scan`].
+///
+/// One pass over the input: each row's key cells are packed into a
+/// [`GroupKey`] (no per-row `Vec<Value>`), hashed into the group index,
+/// and every aggregate updates its per-group [`AggState`] vector
+/// (`states[spec][group]`). Group key cells live in one flat arena;
+/// output rows are only assembled at the end, in first-occurrence order.
+fn group_core<F>(
+    n_rows: usize,
+    cell: F,
+    in_columns: &[RelColumn],
+    group_cols: &[usize],
+    aggs: &[AggSpec],
+) -> Result<Relation>
+where
+    F: Fn(usize, usize) -> Value,
+{
+    // MIN/MAX compare through rank-decorated cells; snapshot the dictionary
+    // ranks once per aggregation instead of locking the arena per update.
+    let ranks = if aggs
+        .iter()
+        .any(|a| matches!(a.func, AggFunc::Min | AggFunc::Max))
+    {
+        Some(crate::intern::rank_map())
+    } else {
+        None
+    };
+    let n_keys = group_cols.len();
+    let mut index: HashMap<GroupKey, usize> = HashMap::new();
+    let mut key_data: Vec<Value> = Vec::new();
+    let mut states: Vec<Vec<AggState>> = aggs.iter().map(|_| Vec::new()).collect();
+    let mut n_groups = 0usize;
+    for r in 0..n_rows {
+        let gi = if n_keys == 0 {
+            if n_groups == 0 {
+                for (si, spec) in aggs.iter().enumerate() {
+                    states[si].push(AggState::new(spec));
+                }
+                n_groups = 1;
+            }
+            0
+        } else {
+            // Entry API: one hash per row, and a new group's key cells are
+            // copied out of the just-built key instead of re-read from the
+            // input columns.
+            match index.entry(GroupKey::read(group_cols, |c| cell(r, c))) {
+                std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let g = n_groups;
+                    key_data.extend_from_slice(e.key().values());
+                    for (si, spec) in aggs.iter().enumerate() {
+                        states[si].push(AggState::new(spec));
+                    }
+                    n_groups += 1;
+                    e.insert(g);
+                    g
+                }
+            }
+        };
+        for (si, spec) in aggs.iter().enumerate() {
+            let v = spec.input.map(|c| cell(r, c));
+            states[si][gi].update(v.as_ref(), ranks.as_ref())?;
+        }
+    }
+    // Empty input with no grouping keys still yields a single group for
+    // aggregates, matching SQL semantics.
+    if n_groups == 0 && n_keys == 0 && !aggs.is_empty() {
+        for (si, spec) in aggs.iter().enumerate() {
+            states[si].push(AggState::new(spec));
+        }
+        n_groups = 1;
+    }
+    let mut columns: Vec<RelColumn> = group_cols.iter().map(|&i| in_columns[i].clone()).collect();
+    for spec in aggs {
+        let ty = match spec.func {
+            AggFunc::Count => DataType::Int,
+            AggFunc::Avg => DataType::Float,
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => spec
+                .input
+                .map(|c| in_columns[c].data_type)
+                .unwrap_or(DataType::Int),
+        };
+        columns.push(RelColumn::bare(spec.output_name.clone(), ty));
+    }
+    let mut finishers: Vec<std::vec::IntoIter<AggState>> =
+        states.into_iter().map(Vec::into_iter).collect();
+    let mut rows: Vec<Row> = Vec::with_capacity(n_groups);
+    for g in 0..n_groups {
+        let mut out: Row = Vec::with_capacity(n_keys + aggs.len());
+        out.extend_from_slice(&key_data[g * n_keys..(g + 1) * n_keys]);
+        out.extend(finishers.iter_mut().map(|f| {
+            f.next()
+                .expect("one state per group per aggregate")
+                .finish()
+        }));
+        rows.push(out);
+    }
+    Ok(Relation::new(columns, rows))
 }
 
 /// One ORDER BY key.
@@ -441,8 +570,10 @@ enum AggState {
     Count(i64),
     Sum { sum: f64, any: bool, int_only: bool },
     Avg { sum: f64, n: i64 },
-    Min(Option<Value>),
-    Max(Option<Value>),
+    // MIN/MAX keep the running best as a rank-decorated cell so text
+    // candidates compare by dictionary rank, never through the arena lock.
+    Min(Option<crate::value::SortCell>),
+    Max(Option<crate::value::SortCell>),
 }
 
 impl AggState {
@@ -460,7 +591,7 @@ impl AggState {
         }
     }
 
-    fn update(&mut self, v: Option<&Value>) -> Result<()> {
+    fn update(&mut self, v: Option<&Value>, ranks: Option<&crate::intern::RankMap>) -> Result<()> {
         match self {
             AggState::Count(n) => {
                 // COUNT(*) counts rows; COUNT(col) skips NULLs.
@@ -498,12 +629,19 @@ impl AggState {
             AggState::Min(best) => {
                 if let Some(val) = v {
                     if !val.is_null() {
+                        let cand = crate::value::SortCell::new(
+                            *val,
+                            ranks.expect("rank snapshot taken for MIN/MAX"),
+                        );
                         let better = match best {
-                            Some(b) => val.total_cmp(b) == std::cmp::Ordering::Less,
+                            Some(b) => {
+                                crate::value::SortCell::total_cmp(cand, *b)
+                                    == std::cmp::Ordering::Less
+                            }
                             None => true,
                         };
                         if better {
-                            *best = Some(*val);
+                            *best = Some(cand);
                         }
                     }
                 }
@@ -511,12 +649,19 @@ impl AggState {
             AggState::Max(best) => {
                 if let Some(val) = v {
                     if !val.is_null() {
+                        let cand = crate::value::SortCell::new(
+                            *val,
+                            ranks.expect("rank snapshot taken for MIN/MAX"),
+                        );
                         let better = match best {
-                            Some(b) => val.total_cmp(b) == std::cmp::Ordering::Greater,
+                            Some(b) => {
+                                crate::value::SortCell::total_cmp(cand, *b)
+                                    == std::cmp::Ordering::Greater
+                            }
                             None => true,
                         };
                         if better {
-                            *best = Some(*val);
+                            *best = Some(cand);
                         }
                     }
                 }
@@ -544,7 +689,9 @@ impl AggState {
                     Value::Float(sum / n as f64)
                 }
             }
-            AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
+            AggState::Min(v) | AggState::Max(v) => {
+                v.map(crate::value::SortCell::value).unwrap_or(Value::Null)
+            }
         }
     }
 }

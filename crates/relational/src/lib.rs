@@ -33,6 +33,7 @@ pub mod csv;
 pub mod database;
 pub mod expr;
 pub mod intern;
+pub mod scan;
 pub mod schema;
 pub mod sql;
 pub mod table;

@@ -214,7 +214,54 @@ fn execute_query_traced(
         }
     }
 
-    // 3. Materialize base relations, pushing single-table predicates into
+    // 3. Vectorized fast path: a grouped (or globally aggregated) query
+    //    over a single table with no residual predicates aggregates
+    //    straight off the columnar storage — the pushdown filter becomes a
+    //    selection vector from the sharded parallel scan, and no
+    //    intermediate row is ever materialized.
+    if refs.len() == 1
+        && edges.is_empty()
+        && residual.is_empty()
+        && (!q.group_by.is_empty() || query_has_aggregates(q))
+    {
+        let table = db.table(&refs[0].table)?;
+        let alias = refs[0].effective_alias();
+        let shape = Relation::new(Relation::table_columns(table, alias), Vec::new());
+        let plan = plan_grouping(q, &shape)?;
+        let sel: Option<Vec<usize>> = match combine_preds(&single[0], &shape)? {
+            Some(pred) => {
+                let sel = crate::scan::filter_indices(table, &pred)?;
+                log!(
+                    "scan {} ({} rows) pushdown [{}] -> {} rows (vectorized group scan)",
+                    aliases[0],
+                    table.len(),
+                    single[0]
+                        .iter()
+                        .map(|p| p.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" AND "),
+                    sel.len()
+                );
+                Some(sel)
+            }
+            None => {
+                log!(
+                    "scan {} ({} rows) vectorized group scan",
+                    aliases[0],
+                    table.len()
+                );
+                None
+            }
+        };
+        log!("group by {} key(s)", q.group_by.len());
+        let grouped =
+            Relation::group_scan(table, &shape, sel.as_deref(), &plan.group_cols, &plan.specs)?;
+        let out = grouped_tail(q, grouped, &plan, &ENGINE_KERNELS)?;
+        log!("output: {} rows x {} columns", out.len(), out.columns.len());
+        return Ok(out);
+    }
+
+    // 4. Materialize base relations, pushing single-table predicates into
     //    the columnar scan (filtered-out rows are never materialized).
     for (i, preds) in single.iter().enumerate() {
         let table = db.table(&refs[i].table)?;
@@ -229,15 +276,8 @@ fn execute_query_traced(
         // needed for name resolution).
         let shape = Relation::new(Relation::table_columns(table, alias), Vec::new());
         let before = table.len();
-        let mut combined: Option<Expr> = None;
-        for p in preds {
-            let e = resolve_row_expr(p, &shape)?;
-            combined = Some(match combined {
-                Some(c) => c.and(e),
-                None => e,
-            });
-        }
-        let filtered = Relation::from_table_filtered(table, alias, &combined.expect("non-empty"))?;
+        let combined = combine_preds(preds, &shape)?.expect("non-empty");
+        let filtered = Relation::from_table_filtered(table, alias, &combined)?;
         log!(
             "scan {} ({} rows) pushdown [{}] -> {} rows",
             aliases[i],
@@ -252,7 +292,7 @@ fn execute_query_traced(
         relations[i] = Some(filtered);
     }
 
-    // 4. Greedy join: start from the smallest relation; repeatedly join the
+    // 5. Greedy join: start from the smallest relation; repeatedly join the
     //    connected relation via hash join, else cross the smallest remaining.
     let mut remaining: Vec<usize> = (0..refs.len()).collect();
     let start = *remaining
@@ -346,14 +386,14 @@ fn execute_query_traced(
         }
     }
 
-    // 5. Residual predicates.
+    // 6. Residual predicates.
     for p in residual {
         let e = resolve_row_expr(p, &current)?;
         current = current.select(&e)?;
         log!("residual filter [{p}] -> {} rows", current.len());
     }
 
-    // 6. Grouping / aggregation / projection tail.
+    // 7. Grouping / aggregation / projection tail.
     if !q.group_by.is_empty() {
         log!("group by {} key(s)", q.group_by.len());
     }
@@ -362,20 +402,68 @@ fn execute_query_traced(
     Ok(out)
 }
 
-/// The planner-free tail of query execution: grouping, HAVING, ORDER BY,
-/// projection, DISTINCT, LIMIT. Shared with the naive reference evaluator
-/// ([`super::naive`]).
-pub(crate) fn finish_query(q: &Query, current: Relation) -> Result<Relation> {
-    let has_aggs = q.items.iter().any(|it| match it {
+/// Whether the query's select list, HAVING or ORDER BY mention an
+/// aggregate (forcing the grouped tail even without GROUP BY).
+fn query_has_aggregates(q: &Query) -> bool {
+    q.items.iter().any(|it| match it {
         SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
         _ => false,
     }) || q.having.as_ref().is_some_and(|h| h.contains_aggregate())
-        || q.order_by.iter().any(|o| o.expr.contains_aggregate());
+        || q.order_by.iter().any(|o| o.expr.contains_aggregate())
+}
 
-    if !q.group_by.is_empty() || has_aggs {
-        execute_grouped(q, current)
+/// ANDs a conjunct list resolved against `shape`; `None` for an empty list.
+fn combine_preds(preds: &[&SqlExpr], shape: &Relation) -> Result<Option<Expr>> {
+    let mut combined: Option<Expr> = None;
+    for p in preds {
+        let e = resolve_row_expr(p, shape)?;
+        combined = Some(match combined {
+            Some(c) => c.and(e),
+            None => e,
+        });
+    }
+    Ok(combined)
+}
+
+/// The data-movement kernels the query tail dispatches through.
+///
+/// Name resolution and output shaping are shared between the optimizing
+/// executor and the naive oracle (they are *specification*, not
+/// optimization), but the kernels that actually group, sort and
+/// deduplicate rows are injected: the executor uses the vectorized
+/// `group_core`/rank-keyed implementations, while [`super::naive`]
+/// supplies independent row-at-a-time ones — so a bug in a vectorized
+/// kernel cannot cancel out in differential tests.
+pub(crate) struct TailKernels {
+    pub(crate) group: fn(&Relation, &[usize], &[AggSpec]) -> Result<Relation>,
+    pub(crate) sort: fn(&Relation, &[SortKey]) -> Relation,
+    pub(crate) distinct: fn(&Relation) -> Relation,
+}
+
+/// The optimizing executor's kernels (vectorized grouping, rank-keyed
+/// sort, hashed DISTINCT).
+pub(crate) const ENGINE_KERNELS: TailKernels = TailKernels {
+    group: |rel, cols, aggs| rel.group_by(cols, aggs),
+    sort: |rel, keys| rel.sort_by(keys),
+    distinct: |rel| rel.distinct(),
+};
+
+/// The planner-free tail of query execution: grouping, HAVING, ORDER BY,
+/// projection, DISTINCT, LIMIT, over the engine kernels.
+pub(crate) fn finish_query(q: &Query, current: Relation) -> Result<Relation> {
+    finish_query_with(q, current, &ENGINE_KERNELS)
+}
+
+/// [`finish_query`] over caller-supplied kernels (see [`TailKernels`]).
+pub(crate) fn finish_query_with(
+    q: &Query,
+    current: Relation,
+    kernels: &TailKernels,
+) -> Result<Relation> {
+    if !q.group_by.is_empty() || query_has_aggregates(q) {
+        execute_grouped(q, current, kernels)
     } else {
-        execute_plain(q, current)
+        execute_plain(q, current, kernels)
     }
 }
 
@@ -410,7 +498,7 @@ pub(crate) fn resolve_row_expr(e: &SqlExpr, rel: &Relation) -> Result<Expr> {
 
 /// Executes the tail of a non-grouped query: ORDER BY, projection, DISTINCT,
 /// LIMIT.
-fn execute_plain(q: &Query, input: Relation) -> Result<Relation> {
+fn execute_plain(q: &Query, input: Relation, kernels: &TailKernels) -> Result<Relation> {
     // Expand the select list into (output name, input column or literal).
     let mut out_cols: Vec<crate::algebra::RelColumn> = Vec::new();
     let mut picks: Vec<Pick> = Vec::new();
@@ -496,7 +584,7 @@ fn execute_plain(q: &Query, input: Relation) -> Result<Relation> {
                 })
             })
             .collect::<Result<Vec<_>>>()?;
-        rel = rel.sort_by(&keys);
+        rel = (kernels.sort)(&rel, &keys);
     }
 
     // Projection.
@@ -515,7 +603,7 @@ fn execute_plain(q: &Query, input: Relation) -> Result<Relation> {
         .collect();
     let mut out = Relation::new(out_cols, rows);
     if q.distinct {
-        out = out.distinct();
+        out = (kernels.distinct)(&out);
     }
     if q.offset > 0 {
         out = out.offset(q.offset);
@@ -531,15 +619,26 @@ enum Pick {
     Lit(Value),
 }
 
-/// Executes a grouped query: GROUP BY + aggregates + HAVING + ORDER BY +
-/// projection.
-fn execute_grouped(q: &Query, input: Relation) -> Result<Relation> {
+/// The resolved grouping shape of a query: key positions, deduplicated
+/// aggregate specs, and the display strings the group-context resolver
+/// maps aggregate expressions back to.
+struct GroupPlan {
+    group_cols: Vec<usize>,
+    specs: Vec<AggSpec>,
+    agg_keys: Vec<String>,
+}
+
+/// Resolves GROUP BY keys and every aggregate (select list, HAVING, ORDER
+/// BY) against an input column shape. Only `shape.columns` is consulted,
+/// so the plan serves both the materialized-relation path and the
+/// vectorized table scan.
+fn plan_grouping(q: &Query, shape: &Relation) -> Result<GroupPlan> {
     // Resolve group keys in row context.
     let group_cols: Vec<usize> = q
         .group_by
         .iter()
         .map(|g| match g {
-            SqlExpr::Column(name) => input.resolve(name),
+            SqlExpr::Column(name) => shape.resolve(name),
             other => Err(Error::Eval(format!(
                 "unsupported GROUP BY expression `{other}`"
             ))),
@@ -573,7 +672,7 @@ fn execute_grouped(q: &Query, input: Relation) -> Result<Relation> {
         if let SqlExpr::Aggregate { func, input: arg } = a {
             let input_col = match arg {
                 Some(e) => match e.as_ref() {
-                    SqlExpr::Column(name) => Some(input.resolve(name)?),
+                    SqlExpr::Column(name) => Some(shape.resolve(name)?),
                     other => {
                         return Err(Error::Eval(format!(
                             "unsupported aggregate input `{other}`"
@@ -586,17 +685,39 @@ fn execute_grouped(q: &Query, input: Relation) -> Result<Relation> {
             agg_keys.push(key);
         }
     }
+    Ok(GroupPlan {
+        group_cols,
+        specs,
+        agg_keys,
+    })
+}
 
-    let grouped = input.group_by(&group_cols, &specs)?;
+/// Executes a grouped query over a materialized relation: GROUP BY +
+/// aggregates + HAVING + ORDER BY + projection.
+fn execute_grouped(q: &Query, input: Relation, kernels: &TailKernels) -> Result<Relation> {
+    let plan = plan_grouping(q, &input)?;
+    let grouped = (kernels.group)(&input, &plan.group_cols, &plan.specs)?;
+    grouped_tail(q, grouped, &plan, kernels)
+}
+
+/// The post-aggregation tail shared by [`execute_grouped`] and the
+/// executor's vectorized group-scan fast path: HAVING, projection, ORDER
+/// BY, DISTINCT, LIMIT/OFFSET over the grouped relation.
+fn grouped_tail(
+    q: &Query,
+    grouped: Relation,
+    plan: &GroupPlan,
+    kernels: &TailKernels,
+) -> Result<Relation> {
     // Grouped columns: group keys (original names) then one per agg keyed by
     // its display string.
-    let n_keys = group_cols.len();
+    let n_keys = plan.group_cols.len();
+    let agg_keys = &plan.agg_keys;
     let grouped_cols = grouped.columns.clone();
 
     // Resolver in group context.
-    let resolve_group = |e: &SqlExpr| -> Result<Expr> {
-        resolve_group_expr(e, q, &grouped_cols, n_keys, &agg_keys)
-    };
+    let resolve_group =
+        |e: &SqlExpr| -> Result<Expr> { resolve_group_expr(e, q, &grouped_cols, n_keys, agg_keys) };
 
     // HAVING.
     let mut rel = grouped;
@@ -679,13 +800,13 @@ fn execute_grouped(q: &Query, input: Relation) -> Result<Relation> {
                 })
             })
             .collect::<Result<Vec<_>>>()?;
-        rel = rel.sort_by(&keys);
+        rel = (kernels.sort)(&rel, &keys);
     }
 
     let mut out = rel.project(&picks)?;
     out.columns = out_cols;
     if q.distinct {
-        out = out.distinct();
+        out = (kernels.distinct)(&out);
     }
     if q.offset > 0 {
         out = out.offset(q.offset);

@@ -180,8 +180,16 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 }
                 out.push(Token::Str(s));
             }
-            c if c.is_ascii_digit() => {
+            // Numeric literal, optionally negative: the dialect has no
+            // binary arithmetic operators, so a `-` directly followed by a
+            // digit can only introduce a signed literal.
+            c if c.is_ascii_digit()
+                || (c == '-' && chars.get(i + 1).is_some_and(char::is_ascii_digit)) =>
+            {
                 let start = i;
+                if chars[i] == '-' {
+                    i += 1;
+                }
                 while i < chars.len() && chars[i].is_ascii_digit() {
                     i += 1;
                 }
@@ -291,6 +299,24 @@ mod tests {
             tokenize("1e").unwrap(),
             vec![Token::Int(1), Token::Ident("e".into())]
         );
+    }
+
+    #[test]
+    fn negative_literals() {
+        assert_eq!(tokenize("-21").unwrap(), vec![Token::Int(-21)]);
+        assert_eq!(tokenize("-10.5").unwrap(), vec![Token::Float(-10.5)]);
+        assert_eq!(tokenize("-2.5e-3").unwrap(), vec![Token::Float(-2.5e-3)]);
+        // Inside a list and after a comparison, as queries produce them.
+        let toks = tokenize("x >= -3 AND y IN (-1, 2)").unwrap();
+        assert!(toks.contains(&Token::Int(-3)));
+        assert!(toks.contains(&Token::Int(-1)));
+        // `{}`-rendered negative ints re-tokenize to the same token.
+        assert_eq!(
+            tokenize(&render_tokens(&[Token::Int(-7)])).unwrap(),
+            vec![Token::Int(-7)]
+        );
+        // A bare `-` (no digit after) is still rejected.
+        assert!(tokenize("a - b").is_err());
     }
 
     #[test]

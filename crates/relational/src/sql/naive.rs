@@ -1,15 +1,25 @@
 //! A deliberately naive reference evaluator for SELECT queries: cross
-//! product of all FROM/JOIN tables, then filter, then the shared
-//! grouping/projection tail.
+//! product of all FROM/JOIN tables, then filter, then the query tail over
+//! naive row-at-a-time kernels.
 //!
 //! It shares no planning logic with [`super::executor`] — no predicate
-//! pushdown, no join ordering, no hash joins — which makes it a trustworthy
-//! oracle for differential testing: for any supported query, the optimized
-//! executor must return the same bag of rows (up to ORDER BY ties).
+//! pushdown, no join ordering, no hash joins — and none of the executor's
+//! data-movement kernels either: grouping here is a linear key scan with
+//! per-group recomputation (no `group_core`, no `AggState` vectors, no
+//! dictionary-rank snapshots), sorting compares values through
+//! [`Value::total_cmp`] directly (no rank-decorated key columns), and
+//! DISTINCT is a quadratic first-occurrence scan (no hashing). Name
+//! resolution and output shaping *are* shared (they are the query's
+//! specification, not an optimization), so a differential mismatch always
+//! points at an execution-kernel bug, and a kernel bug can never cancel
+//! out by running on both sides.
 
 use super::ast::{Query, Statement};
-use crate::algebra::Relation;
+use super::executor::TailKernels;
+use crate::algebra::{AggFunc, AggSpec, Relation, SortKey};
 use crate::database::Database;
+use crate::table::Row;
+use crate::value::Value;
 use crate::{Error, Result};
 
 /// Executes a SELECT with the naive strategy.
@@ -45,10 +55,175 @@ pub fn execute_query_naive(db: &Database, q: &Query) -> Result<Relation> {
         current = current.select(&e)?;
     }
 
-    // Reuse the executor's tail (grouping, HAVING, ORDER BY, projection,
-    // DISTINCT, LIMIT) on the filtered cross product: the tail contains no
-    // join planning, which is what this oracle is checking.
-    super::executor::finish_query(q, current)
+    // Run the tail (grouping, HAVING, ORDER BY, projection, DISTINCT,
+    // LIMIT) on the filtered cross product, over this module's independent
+    // row-at-a-time kernels.
+    super::executor::finish_query_with(q, current, &NAIVE_KERNELS)
+}
+
+/// The oracle's kernels: independent reimplementations of grouping,
+/// sorting and DISTINCT (see the module docs for what they deliberately do
+/// *not* share with the engine).
+const NAIVE_KERNELS: TailKernels = TailKernels {
+    group: naive_group,
+    sort: naive_sort,
+    distinct: naive_distinct,
+};
+
+/// GROUP BY + aggregates by linear key scan: groups are discovered in
+/// first-occurrence order with `Vec<Value>` keys compared by value
+/// equality, and each aggregate is recomputed per group from the member
+/// rows. Output shape (keys, then one column per aggregate, `COUNT` ->
+/// INT, `AVG` -> FLOAT, `SUM`/`MIN`/`MAX` -> input type) mirrors the
+/// engine's documented semantics.
+fn naive_group(rel: &Relation, group_cols: &[usize], aggs: &[AggSpec]) -> Result<Relation> {
+    let mut keys: Vec<Vec<Value>> = Vec::new();
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    for (ri, row) in rel.rows.iter().enumerate() {
+        let key: Vec<Value> = group_cols.iter().map(|&c| row[c]).collect();
+        match keys.iter().position(|k| *k == key) {
+            Some(g) => members[g].push(ri),
+            None => {
+                keys.push(key);
+                members.push(vec![ri]);
+            }
+        }
+    }
+    // Empty input with no grouping keys still yields one (empty) group for
+    // aggregates, matching SQL semantics.
+    if keys.is_empty() && group_cols.is_empty() && !aggs.is_empty() {
+        keys.push(Vec::new());
+        members.push(Vec::new());
+    }
+    let mut columns: Vec<crate::algebra::RelColumn> =
+        group_cols.iter().map(|&i| rel.columns[i].clone()).collect();
+    for spec in aggs {
+        let ty = match spec.func {
+            AggFunc::Count => crate::value::DataType::Int,
+            AggFunc::Avg => crate::value::DataType::Float,
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => spec
+                .input
+                .map(|c| rel.columns[c].data_type)
+                .unwrap_or(crate::value::DataType::Int),
+        };
+        columns.push(crate::algebra::RelColumn::bare(
+            spec.output_name.clone(),
+            ty,
+        ));
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(keys.len());
+    for (key, idxs) in keys.iter().zip(&members) {
+        let mut out = key.clone();
+        for spec in aggs {
+            out.push(naive_agg(rel, idxs, spec)?);
+        }
+        rows.push(out);
+    }
+    Ok(Relation::new(columns, rows))
+}
+
+/// One aggregate over one group's member rows, recomputed from scratch.
+fn naive_agg(rel: &Relation, idxs: &[usize], spec: &AggSpec) -> Result<Value> {
+    // Non-NULL input values for the column-fed aggregates; an input-less
+    // aggregate other than COUNT(*) sees no values (and yields NULL),
+    // matching the engine.
+    let values = |col: Option<usize>| -> Vec<Value> {
+        col.map_or_else(Vec::new, |c| {
+            idxs.iter()
+                .map(|&r| rel.rows[r][c])
+                .filter(|v| !v.is_null())
+                .collect()
+        })
+    };
+    match spec.func {
+        AggFunc::Count => {
+            let n = match spec.input {
+                None => idxs.len(),
+                Some(_) => values(spec.input).len(),
+            };
+            Ok(Value::Int(n as i64))
+        }
+        AggFunc::Sum => {
+            let vals = values(spec.input);
+            if vals.is_empty() {
+                return Ok(Value::Null);
+            }
+            let mut sum = 0.0f64;
+            let mut int_only = true;
+            for v in vals {
+                sum += v
+                    .as_float()
+                    .ok_or_else(|| Error::Eval(format!("SUM over non-number {v}")))?;
+                if !matches!(v, Value::Int(_)) {
+                    int_only = false;
+                }
+            }
+            Ok(if int_only {
+                Value::Int(sum as i64)
+            } else {
+                Value::Float(sum)
+            })
+        }
+        AggFunc::Avg => {
+            let vals = values(spec.input);
+            if vals.is_empty() {
+                return Ok(Value::Null);
+            }
+            let mut sum = 0.0f64;
+            for v in &vals {
+                sum += v
+                    .as_float()
+                    .ok_or_else(|| Error::Eval(format!("AVG over non-number {v}")))?;
+            }
+            Ok(Value::Float(sum / vals.len() as f64))
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let want = if spec.func == AggFunc::Min {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            };
+            let mut best: Option<Value> = None;
+            for v in values(spec.input) {
+                let better = match best {
+                    Some(b) => v.total_cmp(&b) == want,
+                    None => true,
+                };
+                if better {
+                    best = Some(v);
+                }
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+    }
+}
+
+/// Stable multi-key sort comparing through [`Value::total_cmp`] per probe —
+/// ties keep input order, exactly the engine's ties policy.
+fn naive_sort(rel: &Relation, keys: &[SortKey]) -> Relation {
+    let mut rows = rel.rows.clone();
+    rows.sort_by(|a, b| {
+        for k in keys {
+            let ord = a[k.column].total_cmp(&b[k.column]);
+            let ord = if k.descending { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Relation::new(rel.columns.clone(), rows)
+}
+
+/// First-occurrence DISTINCT by quadratic value-equality scan.
+fn naive_distinct(rel: &Relation) -> Relation {
+    let mut rows: Vec<Row> = Vec::new();
+    for r in &rel.rows {
+        if !rows.iter().any(|seen| seen == r) {
+            rows.push(r.clone());
+        }
+    }
+    Relation::new(rel.columns.clone(), rows)
 }
 
 #[cfg(test)]

@@ -530,12 +530,17 @@ impl Table {
     /// Distinct values appearing in column `col` (used by the categorical
     /// attribute heuristic of Appendix A), in total order.
     ///
-    /// Implemented as a decorated sort + dedup ([`crate::value::SortCell`])
-    /// so interned text compares without re-entering the arena lock per
-    /// comparison.
+    /// Implemented as a rank-decorated sort + dedup
+    /// ([`crate::value::SortCell`] over one dictionary-rank snapshot), so
+    /// interned text compares as machine words and the arena lock is never
+    /// taken inside the sort.
     pub fn distinct_values(&self, col: usize) -> Vec<Value> {
         use crate::value::SortCell;
-        let mut cells: Vec<SortCell> = self.cols[col].iter().map(SortCell::new).collect();
+        let ranks = crate::intern::rank_map();
+        let mut cells: Vec<SortCell> = self.cols[col]
+            .iter()
+            .map(|v| SortCell::new(v, &ranks))
+            .collect();
         cells.sort_by(|&a, &b| SortCell::total_cmp(a, b));
         cells.dedup_by(|a, b| SortCell::total_cmp(*a, *b) == std::cmp::Ordering::Equal);
         cells.into_iter().map(SortCell::value).collect()

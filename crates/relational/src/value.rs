@@ -178,26 +178,35 @@ impl Value {
     }
 }
 
-/// A [`Value`] paired with its resolved text, for sort/dedup loops.
+/// A [`Value`] decorated with its dictionary rank, for sort/dedup/min-max
+/// loops.
 ///
 /// Comparing interned text through [`Value::total_cmp`] takes a read lock
-/// on the global arena per comparison; an `O(n log n)` sort over a text
-/// column would re-enter the lock on every probe. `SortCell` resolves each
-/// cell once (one arena read per row) so the comparator itself never
-/// touches the interner. The order is exactly [`Value::total_cmp`].
+/// on the global arena and walks both strings per comparison; an
+/// `O(n log n)` sort over a text column would re-enter the lock on every
+/// probe. `SortCell` looks the rank up once per cell from a
+/// [`RankMap`](crate::intern::RankMap) snapshot, so the comparator compares
+/// two `u32`s and never touches the interner (there is no string-resolving
+/// fallback path). The order is exactly [`Value::total_cmp`].
 #[derive(Debug, Clone, Copy)]
 pub struct SortCell {
     value: Value,
-    text: Option<&'static str>,
+    /// Dictionary rank for text cells; 0 (unused) for every other type.
+    rank: u32,
 }
 
 impl SortCell {
-    /// Decorates a value, resolving its text if it has any.
-    pub fn new(value: Value) -> Self {
-        SortCell {
-            value,
-            text: value.as_text(),
-        }
+    /// Decorates a value with its dictionary rank from `ranks`.
+    ///
+    /// # Panics
+    /// If the value is text interned after `ranks` was snapshotted (see
+    /// [`RankMap::rank`](crate::intern::RankMap::rank)).
+    pub fn new(value: Value, ranks: &crate::intern::RankMap) -> Self {
+        let rank = match value {
+            Value::Text(s) => ranks.rank(s),
+            _ => 0,
+        };
+        SortCell { value, rank }
     }
 
     /// The undecorated value.
@@ -206,11 +215,11 @@ impl SortCell {
     }
 
     /// [`Value::total_cmp`] without arena reads: two text cells compare
-    /// their pre-resolved strings; every other pairing never reaches the
+    /// their precomputed ranks; every other pairing never reaches the
     /// arena inside `total_cmp` anyway.
     pub fn total_cmp(a: SortCell, b: SortCell) -> Ordering {
-        match (a.text, b.text) {
-            (Some(x), Some(y)) => x.cmp(y),
+        match (a.value, b.value) {
+            (Value::Text(_), Value::Text(_)) => a.rank.cmp(&b.rank),
             _ => a.value.total_cmp(&b.value),
         }
     }
@@ -452,6 +461,32 @@ mod tests {
                 Value::text("value-rank-b"),
                 Value::Bool(false),
             ]
+        );
+    }
+
+    /// Pin: a rank-decorated sort is byte-for-byte the `total_cmp` order,
+    /// including text interned in adversarial (reverse) order, mixed types
+    /// and NULLs — and never consults the arena inside the comparator.
+    #[test]
+    fn sort_cell_order_equals_total_cmp() {
+        let values = vec![
+            Value::text("cell-order-zz"),
+            Value::Bool(true),
+            Value::text("cell-order-mm"),
+            Value::Null,
+            Value::Float(1.5),
+            Value::text("cell-order-aa"),
+            Value::Int(2),
+            Value::text("cell-order-mm"),
+        ];
+        let ranks = crate::intern::rank_map();
+        let mut by_cell: Vec<SortCell> = values.iter().map(|&v| SortCell::new(v, &ranks)).collect();
+        by_cell.sort_by(|&a, &b| SortCell::total_cmp(a, b));
+        let mut by_value = values.clone();
+        by_value.sort();
+        assert_eq!(
+            by_cell.into_iter().map(SortCell::value).collect::<Vec<_>>(),
+            by_value
         );
     }
 

@@ -1,0 +1,173 @@
+//! Aggregate edge cases pinned as unit tests: NULL-only groups, AVG
+//! rounding over ints, SUM overflow behavior, grouped queries on empty
+//! input, HAVING that eliminates every group, and MIN/MAX over interned
+//! text under adversarial intern order — each exercised through both the
+//! vectorized single-table group scan (the executor fast path) and the
+//! materialized-relation grouping used after joins.
+
+use etable_relational::algebra::{AggFunc, AggSpec, RelColumn, Relation};
+use etable_relational::database::Database;
+use etable_relational::sql::execute;
+use etable_relational::value::{DataType, Value};
+
+fn db() -> Database {
+    let mut db = Database::new();
+    for stmt in [
+        "CREATE TABLE m (id INT PRIMARY KEY, k INT NOT NULL, v INT, txt TEXT)",
+        // k = 1: values present; k = 2: v and txt entirely NULL.
+        "INSERT INTO m VALUES (1, 1, 1, 'pear'), (2, 1, 2, 'apple'), (3, 2, NULL, NULL), \
+         (4, 2, NULL, NULL)",
+        "CREATE TABLE empty_t (id INT PRIMARY KEY, k INT NOT NULL, v INT)",
+        // A one-row side table so a join forces the materialized path.
+        "CREATE TABLE one (id INT PRIMARY KEY)",
+        "INSERT INTO one VALUES (1)",
+    ] {
+        execute(&mut db, stmt).unwrap();
+    }
+    db
+}
+
+/// Runs `sql` through the vectorized fast path (single-table form) and
+/// returns the rows.
+fn run(db: &mut Database, sql: &str) -> Vec<Vec<Value>> {
+    execute(db, sql).unwrap().rows
+}
+
+#[test]
+fn null_only_group_yields_nulls_and_zero_counts() {
+    let mut d = db();
+    for sql in [
+        // Vectorized single-table group scan.
+        "SELECT k, COUNT(*) AS n, COUNT(v) AS nv, SUM(v) AS s, AVG(v) AS a, \
+         MIN(v) AS mn, MAX(txt) AS mx FROM m GROUP BY k ORDER BY k",
+        // Same query forced through the materialized join path.
+        "SELECT m.k, COUNT(*) AS n, COUNT(m.v) AS nv, SUM(m.v) AS s, AVG(m.v) AS a, \
+         MIN(m.v) AS mn, MAX(m.txt) AS mx FROM m, one WHERE one.id = 1 \
+         GROUP BY m.k ORDER BY m.k",
+    ] {
+        let rows = run(&mut d, sql);
+        assert_eq!(rows.len(), 2, "{sql}");
+        // Group k = 2 holds only NULLs: COUNT(*) still counts rows,
+        // COUNT(v) is 0, every other aggregate is NULL.
+        let g2 = &rows[1];
+        assert_eq!(g2[1], Value::Int(2), "{sql}");
+        assert_eq!(g2[2], Value::Int(0), "{sql}");
+        assert!(g2[3].is_null() && g2[4].is_null() && g2[5].is_null() && g2[6].is_null());
+    }
+}
+
+#[test]
+fn avg_over_ints_is_exact_float_division() {
+    let mut d = db();
+    let rows = run(&mut d, "SELECT AVG(v) AS a FROM m WHERE k = 1");
+    // AVG(1, 2) = 1.5, and an integral mean still comes back as FLOAT.
+    assert!(matches!(rows[0][0], Value::Float(f) if f == 1.5));
+    execute(&mut d, "INSERT INTO m VALUES (9, 1, 3, NULL)").unwrap();
+    let rows = run(&mut d, "SELECT AVG(v) AS a FROM m WHERE k = 1");
+    assert!(
+        matches!(rows[0][0], Value::Float(f) if f == 2.0),
+        "AVG must stay FLOAT even when integral, got {:?}",
+        rows[0][0]
+    );
+}
+
+/// SUM accumulates in f64 and casts back for int-only inputs; Rust's
+/// float→int cast saturates, so a sum past `i64::MAX` pins to `i64::MAX`
+/// (and symmetrically to `i64::MIN`) instead of wrapping or panicking.
+/// This documents the current contract — both engines share the
+/// accumulator, so the differential fuzzer cannot see it.
+#[test]
+fn sum_overflow_saturates_at_i64_bounds() {
+    let rel = Relation::new(
+        vec![RelColumn::bare("v", DataType::Int)],
+        vec![vec![Value::Int(i64::MAX)], vec![Value::Int(i64::MAX)]],
+    );
+    let out = rel
+        .group_by(&[], &[AggSpec::new(AggFunc::Sum, Some(0), "s")])
+        .unwrap();
+    assert_eq!(out.rows[0][0], Value::Int(i64::MAX));
+    let rel = Relation::new(
+        vec![RelColumn::bare("v", DataType::Int)],
+        vec![vec![Value::Int(i64::MIN)], vec![Value::Int(i64::MIN)]],
+    );
+    let out = rel
+        .group_by(&[], &[AggSpec::new(AggFunc::Sum, Some(0), "s")])
+        .unwrap();
+    assert_eq!(out.rows[0][0], Value::Int(i64::MIN));
+}
+
+#[test]
+fn grouped_query_on_empty_input() {
+    let mut d = db();
+    // With GROUP BY: no input rows, no groups, no output rows.
+    let rows = run(
+        &mut d,
+        "SELECT k, COUNT(*) AS n FROM empty_t GROUP BY k ORDER BY k",
+    );
+    assert!(rows.is_empty());
+    // Global aggregates still yield exactly one row (SQL semantics):
+    // COUNT 0, every other aggregate NULL.
+    let rows = run(
+        &mut d,
+        "SELECT COUNT(*) AS n, COUNT(v) AS nv, SUM(v) AS s, AVG(v) AS a, MIN(v) AS mn \
+         FROM empty_t",
+    );
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][0], Value::Int(0));
+    assert_eq!(rows[0][1], Value::Int(0));
+    assert!(rows[0][2].is_null() && rows[0][3].is_null() && rows[0][4].is_null());
+    // A WHERE clause that empties a non-empty table behaves identically.
+    let rows = run(&mut d, "SELECT COUNT(*) AS n FROM m WHERE k > 99");
+    assert_eq!(rows[0][0], Value::Int(0));
+}
+
+#[test]
+fn having_can_filter_every_group() {
+    let mut d = db();
+    let rows = run(
+        &mut d,
+        "SELECT k, COUNT(*) AS n FROM m GROUP BY k HAVING COUNT(*) > 100",
+    );
+    assert!(rows.is_empty());
+    // HAVING over a NULL-producing aggregate: NULL comparisons are
+    // UNKNOWN, which filters the group out.
+    let rows = run(
+        &mut d,
+        "SELECT k FROM m GROUP BY k HAVING SUM(v) > -9999 ORDER BY k",
+    );
+    assert_eq!(rows, vec![vec![Value::Int(1)]]);
+}
+
+#[test]
+fn min_max_on_text_follow_strings_not_intern_order() {
+    // Intern the candidates in reverse lexicographic order first, so
+    // symbol-id order inverts string order: a rank/id confusion would
+    // flip every assertion below.
+    for w in ["zzz-agg", "omega-agg", "delta-agg", "alpha-agg"] {
+        let _ = Value::text(w);
+    }
+    let mut d = Database::new();
+    for stmt in [
+        "CREATE TABLE w (id INT PRIMARY KEY, k INT NOT NULL, txt TEXT)",
+        "INSERT INTO w VALUES (1, 1, 'omega-agg'), (2, 1, 'alpha-agg'), (3, 1, 'zzz-agg'), \
+         (4, 2, 'delta-agg'), (5, 2, NULL)",
+        "CREATE TABLE one_w (id INT PRIMARY KEY)",
+        "INSERT INTO one_w VALUES (1)",
+    ] {
+        execute(&mut d, stmt).unwrap();
+    }
+    for sql in [
+        // Vectorized group scan.
+        "SELECT k, MIN(txt) AS lo, MAX(txt) AS hi FROM w GROUP BY k ORDER BY k",
+        // Materialized path via a join.
+        "SELECT w.k, MIN(w.txt) AS lo, MAX(w.txt) AS hi FROM w, one_w \
+         WHERE one_w.id = 1 GROUP BY w.k ORDER BY w.k",
+    ] {
+        let rows = execute(&mut d, sql).unwrap().rows;
+        assert_eq!(rows[0][1], "alpha-agg".into(), "{sql}");
+        assert_eq!(rows[0][2], "zzz-agg".into(), "{sql}");
+        // Single non-NULL value: MIN == MAX, NULL ignored.
+        assert_eq!(rows[1][1], "delta-agg".into(), "{sql}");
+        assert_eq!(rows[1][2], "delta-agg".into(), "{sql}");
+    }
+}

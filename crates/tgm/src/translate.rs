@@ -606,7 +606,10 @@ pub fn translate(db: &Database, opts: &TranslateOptions) -> Result<Tgdb> {
         let tschema = table.schema();
         let fi = tschema.column_index(fk_col).expect("fk column");
         let vi = tschema.column_index(value_col).expect("value column");
-        let mut value_nodes: BTreeMap<Value, NodeId> = BTreeMap::new();
+        // Node creation order comes from `distinct_values` (already in
+        // total order); the map itself is only a lookup, so hash on the
+        // value (interned text hashes by symbol id — no arena reads).
+        let mut value_nodes: HashMap<Value, NodeId> = HashMap::new();
         for v in table.distinct_values(vi) {
             if v.is_null() {
                 continue;
@@ -636,7 +639,8 @@ pub fn translate(db: &Database, opts: &TranslateOptions) -> Result<Tgdb> {
         let pk_idx = tschema
             .column_index(&tschema.primary_key[0])
             .expect("entity pk");
-        let mut value_nodes: BTreeMap<Value, NodeId> = BTreeMap::new();
+        // Lookup-only map, as above: hash by symbol id, never compare text.
+        let mut value_nodes: HashMap<Value, NodeId> = HashMap::new();
         for v in table.distinct_values(ci) {
             if v.is_null() {
                 continue;
