@@ -7,28 +7,12 @@
 //! `BENCH_baseline.json` regression gate.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use etable_bench::{parse_select as parse, pin_scan_pool};
 use etable_datagen::{generate, GenConfig};
 use etable_relational::sql::executor::execute_query;
-use etable_relational::sql::{parse_statement, Query, Statement};
-
-fn parse(sql: &str) -> Query {
-    match parse_statement(sql).expect("benchmark SQL parses") {
-        Statement::Select(q) => q,
-        other => panic!("benchmark SQL must be a SELECT, got {other:?}"),
-    }
-}
 
 fn bench_sql(c: &mut Criterion) {
-    // Pin the scan pool so the numbers do not drift with load-dependent
-    // scheduling (the override changes timing only, never results — see
-    // `etable_relational::scan`), but never force more workers than the
-    // host can actually run: on a single-core container a forced pool
-    // would measure spawn overhead, not the engine. An explicit
-    // ETABLE_SCAN_THREADS in the environment wins, for pool-size sweeps.
-    if std::env::var_os("ETABLE_SCAN_THREADS").is_none() {
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-        std::env::set_var("ETABLE_SCAN_THREADS", cores.min(4).to_string());
-    }
+    pin_scan_pool();
     let db = generate(&GenConfig::medium());
     let cases: &[(&str, &str)] = &[
         // Vectorized group scan (single table, no pushdown).

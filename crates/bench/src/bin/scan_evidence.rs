@@ -1,0 +1,84 @@
+//! Multi-core scan evidence (non-gating): prints the host's available
+//! parallelism and times representative sharded scans inline
+//! (`ETABLE_SCAN_THREADS=1`) versus on worker pools, so CI logs on
+//! multi-core runners show the parallel scan path actually winning —
+//! the 1-CPU dev container can only ever show the inline fallback.
+//!
+//! This binary is informational by design: it always exits 0, and nothing
+//! parses its output. Regression gating is the bench suite's job
+//! (`BENCH_baseline.json` + CI's same-runner A/B); this exists because
+//! those gates run wherever they run, while the parallel-win evidence is
+//! only visible on hosts with >1 core.
+
+use etable_datagen::{generate, GenConfig};
+use etable_relational::sql::executor::execute_query;
+use etable_relational::sql::{parse_statement, Statement};
+use std::time::Instant;
+
+/// Median wall time of `runs` executions of `sql`, in microseconds.
+fn median_us(db: &etable_relational::database::Database, sql: &str, runs: usize) -> f64 {
+    let q = match parse_statement(sql).expect("evidence SQL parses") {
+        Statement::Select(q) => q,
+        other => panic!("evidence SQL must be a SELECT, got {other:?}"),
+    };
+    let mut times: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            let n = execute_query(db, &q)
+                .expect("evidence query executes")
+                .len();
+            let us = start.elapsed().as_secs_f64() * 1e6;
+            std::hint::black_box(n);
+            us
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("available_parallelism = {cores}");
+    let db = generate(&GenConfig::medium());
+    let queries = [
+        (
+            "like_scan",
+            "SELECT id FROM Papers WHERE title LIKE '%data%'",
+        ),
+        (
+            "filter_group",
+            "SELECT year, COUNT(*) AS n FROM Papers WHERE year >= 2005 GROUP BY year",
+        ),
+        (
+            "filtered_join",
+            "SELECT p.title, a.name FROM Papers p, Paper_Authors pa, Authors a \
+             WHERE p.id = pa.paper_id AND pa.author_id = a.id AND p.year >= 2005",
+        ),
+    ];
+    // Inline first, then pools up to the host's cores. Setting the
+    // variable between sweeps is safe here: this main thread is the only
+    // one alive between scans (scan workers are scoped and joined).
+    let pools: Vec<usize> = [1usize, 2, 4]
+        .into_iter()
+        .filter(|&p| p == 1 || p <= cores)
+        .collect();
+    println!("{:<14} {}", "query", {
+        let mut h = String::new();
+        for p in &pools {
+            h.push_str(&format!("{:>14}", format!("pool={p} (µs)")));
+        }
+        h
+    });
+    for (name, sql) in queries {
+        let mut line = format!("{name:<14}");
+        for p in &pools {
+            std::env::set_var("ETABLE_SCAN_THREADS", p.to_string());
+            line.push_str(&format!("{:>14.0}", median_us(&db, sql, 15)));
+        }
+        println!("{line}");
+    }
+    std::env::remove_var("ETABLE_SCAN_THREADS");
+    println!(
+        "(informational only; sharded-vs-inline deltas are expected to be ~0 on 1-core hosts)"
+    );
+}

@@ -19,6 +19,30 @@ pub fn default_dataset() -> (Database, Tgdb) {
     dataset(&GenConfig::medium())
 }
 
+/// Parses benchmark SQL into a SELECT query, panicking on anything else —
+/// the shared helper behind the `sql` and `join` bench families.
+pub fn parse_select(sql: &str) -> etable_relational::sql::Query {
+    match etable_relational::sql::parse_statement(sql).expect("benchmark SQL parses") {
+        etable_relational::sql::Statement::Select(q) => q,
+        other => panic!("benchmark SQL must be a SELECT, got {other:?}"),
+    }
+}
+
+/// Pins the scan worker pool for benchmark runs so the numbers do not
+/// drift with load-dependent scheduling (the override changes timing
+/// only, never results — see `etable_relational::scan`), but never forces
+/// more workers than the host can actually run: on a single-core
+/// container a forced pool would measure spawn overhead, not the engine.
+/// An explicit `ETABLE_SCAN_THREADS` in the environment wins, for
+/// pool-size sweeps. One policy shared by every SQL-driving bench family,
+/// so two families can never measure under different pools by accident.
+pub fn pin_scan_pool() {
+    if std::env::var_os("ETABLE_SCAN_THREADS").is_none() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        std::env::set_var("ETABLE_SCAN_THREADS", cores.min(4).to_string());
+    }
+}
+
 /// Builds a dataset at an arbitrary scale and its TGDB.
 pub fn dataset(cfg: &GenConfig) -> (Database, Tgdb) {
     let db = generate(cfg);

@@ -75,8 +75,8 @@ impl Relation {
     }
 
     /// The qualified output columns a scan of `table` under `alias`
-    /// produces. Single source for [`Relation::from_table`],
-    /// [`Relation::from_table_filtered`] and the executor's zero-row
+    /// produces. Single source for [`Relation::from_table`], the columnar
+    /// scans ([`crate::colrel::ColRelation`]) and the executor's zero-row
     /// predicate-resolution shapes, so name resolution can never diverge
     /// from the columns a scan actually yields.
     pub fn table_columns(table: &crate::table::Table, alias: &str) -> Vec<RelColumn> {
@@ -97,26 +97,6 @@ impl Relation {
         }
     }
 
-    /// Builds a relation from a stored table, keeping only rows satisfying
-    /// `pred` (resolved against this relation's column order).
-    ///
-    /// This is the executor's pushdown scan: the table is sharded into
-    /// fixed-size chunks evaluated on the scan worker pool
-    /// ([`crate::scan`]), and rows that fail the filter are never
-    /// materialized into the output. Chunk results merge in chunk order, so
-    /// output rows (and any predicate error) are identical to a sequential
-    /// scan for every pool size.
-    pub fn from_table_filtered(
-        table: &crate::table::Table,
-        alias: &str,
-        pred: &Expr,
-    ) -> Result<Relation> {
-        Ok(Relation::new(
-            Self::table_columns(table, alias),
-            crate::scan::filter_rows(table, pred)?,
-        ))
-    }
-
     /// Number of rows.
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -131,18 +111,7 @@ impl Relation {
     ///
     /// Errors on unknown and on ambiguous unqualified names.
     pub fn resolve(&self, name: &str) -> Result<usize> {
-        let hits: Vec<usize> = self
-            .columns
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.matches_name(name))
-            .map(|(i, _)| i)
-            .collect();
-        match hits.len() {
-            0 => Err(Error::UnknownColumn(name.to_string())),
-            1 => Ok(hits[0]),
-            _ => Err(Error::Eval(format!("ambiguous column reference `{name}`"))),
-        }
+        resolve_name(&self.columns, name)
     }
 
     /// σ — keeps rows satisfying `pred`.
@@ -184,9 +153,15 @@ impl Relation {
         Relation::new(self.columns.clone(), rows)
     }
 
-    /// Equi-join on `self[left_col] = other[right_col]` using a hash join.
+    /// Equi-join on `self[left_col] = other[right_col]` using a
+    /// row-at-a-time hash join over materialized rows.
     ///
-    /// Output columns are `self.columns ++ other.columns`.
+    /// The optimizing executor no longer goes through this path — its joins
+    /// run on selection vectors ([`crate::colrel::ColRelation::hash_join`])
+    /// and never copy intermediate rows. This implementation stays as the
+    /// independent row-oriented reference the join edge-case tests compare
+    /// the columnar kernels against. Output columns are
+    /// `self.columns ++ other.columns`.
     pub fn hash_join(
         &self,
         other: &Relation,
@@ -332,35 +307,25 @@ impl Relation {
             aggs,
         )
     }
+}
 
-    /// GROUP BY + aggregates streamed straight off a stored table's
-    /// columnar storage — the vectorized aggregation path.
-    ///
-    /// `shape` carries the output column metadata a scan of the table would
-    /// produce ([`Relation::table_columns`]); `sel` is an optional
-    /// selection vector of row indices from a filtered scan (`None` means
-    /// every row). Key cells and aggregate inputs are read column-at-a-time
-    /// from the [`ColumnStore`](crate::table::ColumnStore)s; no
-    /// intermediate `Vec<Value>` row is ever built. Semantics (grouping,
-    /// NULL handling, output order) are identical to materializing the
-    /// scan and calling [`Relation::group_by`].
-    pub fn group_scan(
-        table: &crate::table::Table,
-        shape: &Relation,
-        sel: Option<&[usize]>,
-        group_cols: &[usize],
-        aggs: &[AggSpec],
-    ) -> Result<Relation> {
-        let cols: Vec<&crate::table::ColumnStore> =
-            (0..shape.columns.len()).map(|i| table.column(i)).collect();
-        let n_rows = sel.map_or(table.len(), <[usize]>::len);
-        group_core(
-            n_rows,
-            |r, c| cols[c].get(sel.map_or(r, |s| s[r])),
-            &shape.columns,
-            group_cols,
-            aggs,
-        )
+/// Resolves a (possibly qualified) column name against a column list —
+/// the single resolution rule shared by [`Relation`] and
+/// [`crate::colrel::ColRelation`], so the materialized and selection-vector
+/// pipelines can never disagree on what a name means.
+///
+/// Errors on unknown and on ambiguous unqualified names.
+pub(crate) fn resolve_name(columns: &[RelColumn], name: &str) -> Result<usize> {
+    let hits: Vec<usize> = columns
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.matches_name(name))
+        .map(|(i, _)| i)
+        .collect();
+    match hits.len() {
+        0 => Err(Error::UnknownColumn(name.to_string())),
+        1 => Ok(hits[0]),
+        _ => Err(Error::Eval(format!("ambiguous column reference `{name}`"))),
     }
 }
 
@@ -396,14 +361,15 @@ impl GroupKey {
 }
 
 /// The shared vectorized grouping kernel behind [`Relation::group_by`] and
-/// [`Relation::group_scan`].
+/// [`crate::colrel::ColRelation::group_by`] (the selection-vector path the
+/// executor's grouped queries aggregate through).
 ///
 /// One pass over the input: each row's key cells are packed into a
 /// [`GroupKey`] (no per-row `Vec<Value>`), hashed into the group index,
 /// and every aggregate updates its per-group [`AggState`] vector
 /// (`states[spec][group]`). Group key cells live in one flat arena;
 /// output rows are only assembled at the end, in first-occurrence order.
-fn group_core<F>(
+pub(crate) fn group_core<F>(
     n_rows: usize,
     cell: F,
     in_columns: &[RelColumn],

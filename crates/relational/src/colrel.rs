@@ -1,0 +1,707 @@
+//! Columnar intermediate relations: selection vectors over base tables.
+//!
+//! The optimizing executor's pipeline between the base-table scan and the
+//! final projection runs on [`ColRelation`]s instead of materialized
+//! [`Relation`](crate::algebra::Relation)s. A `ColRelation` is a set of
+//! borrowed base [`Table`]s plus **one row-id vector per table**: logical
+//! row `r` of the relation reads row `row_ids[r]` of each source table.
+//! Every operator — pushdown scan, hash join, cross product, residual
+//! filter, sort — only ever rewrites those row-id vectors:
+//!
+//! * a filtered scan *is* the selection vector [`scan::filter_indices`]
+//!   returns (an unfiltered scan is the identity selection, stored
+//!   implicitly),
+//! * a hash join builds its table from the build side's key column and
+//!   probes with the probe side's key column batch, emitting paired
+//!   (build-position, probe-position) vectors that are composed into the
+//!   inputs' row-id vectors — probe keys hash straight off
+//!   [`ColumnData::Int`]/[`ColumnData::Sym`] words on the typed fast
+//!   paths,
+//! * a residual filter evaluates the predicate over only the columns it
+//!   references and composes the surviving positions,
+//! * ORDER BY computes a permutation over rank-decorated key columns.
+//!
+//! No intermediate row is copied anywhere in that pipeline; the final
+//! projection ([`ColRelation::project`]) gathers each output cell exactly
+//! once, straight out of the base tables' column stores. Grouped queries
+//! never materialize rows at all: [`ColRelation::group_by`] feeds the
+//! shared vectorized grouping kernel ([`crate::algebra`]'s `group_core`)
+//! through a cell accessor over the row-id vectors.
+//!
+//! Row ids are `u32` ([`Table`]s are capped at `u32::MAX` rows, and the
+//! cardinality-growing operators error past `u32::MAX` logical rows
+//! rather than truncate), so a selection vector is a quarter the size of
+//! even a single-column materialized row vector.
+
+use crate::algebra::{resolve_name, AggSpec, RelColumn, Relation, SortKey};
+use crate::expr::Expr;
+use crate::table::{ColumnData, ColumnStore, Table};
+use crate::value::{SortCell, Value};
+use crate::{Error, Result};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The row-id vector of one source table. `Identity` is the unfiltered
+/// scan `0..table.len()`, kept implicit so a full-table scan allocates
+/// nothing until a join or filter actually reorders it.
+#[derive(Debug, Clone)]
+enum RowIds {
+    Identity,
+    Sel(Vec<u32>),
+}
+
+impl RowIds {
+    /// The table row id behind logical row `r`.
+    #[inline]
+    fn get(&self, r: usize) -> usize {
+        match self {
+            RowIds::Identity => r,
+            RowIds::Sel(v) => v[r] as usize,
+        }
+    }
+
+    /// Composes this selection with `positions` (logical rows to keep, in
+    /// output order): the result maps output row `i` to the table row this
+    /// selection mapped `positions[i]` to.
+    fn compose(&self, positions: &[u32]) -> RowIds {
+        match self {
+            RowIds::Identity => RowIds::Sel(positions.to_vec()),
+            RowIds::Sel(v) => RowIds::Sel(positions.iter().map(|&p| v[p as usize]).collect()),
+        }
+    }
+}
+
+/// One base table participating in a [`ColRelation`], with the row ids its
+/// logical rows read.
+#[derive(Debug, Clone)]
+struct Source<'a> {
+    table: &'a Table,
+    row_ids: RowIds,
+}
+
+/// A columnar intermediate relation: borrowed base tables + selection /
+/// row-id vectors (see the module docs). The executor's join tail operates
+/// entirely on this type; rows are materialized only by
+/// [`ColRelation::project`] (final projection) or consumed cell-at-a-time
+/// by [`ColRelation::group_by`].
+#[derive(Debug, Clone)]
+pub struct ColRelation<'a> {
+    columns: Vec<RelColumn>,
+    /// Output column -> (source index, column index within that source).
+    col_map: Vec<(u32, u32)>,
+    sources: Vec<Source<'a>>,
+    n_rows: usize,
+}
+
+/// One output column of a projection: a column of the input relation or a
+/// literal from the select list.
+#[derive(Debug, Clone, Copy)]
+pub enum Pick {
+    /// Input column position.
+    Col(usize),
+    /// Constant select-list expression.
+    Lit(Value),
+}
+
+impl<'a> ColRelation<'a> {
+    fn from_sources(columns: Vec<RelColumn>, sources: Vec<Source<'a>>, n_rows: usize) -> Self {
+        let mut col_map = Vec::with_capacity(columns.len());
+        for (si, s) in sources.iter().enumerate() {
+            for ci in 0..s.table.schema().arity() {
+                col_map.push((si as u32, ci as u32));
+            }
+        }
+        debug_assert_eq!(col_map.len(), columns.len());
+        ColRelation {
+            columns,
+            col_map,
+            sources,
+            n_rows,
+        }
+    }
+
+    /// An unfiltered scan of `table` under `alias`: the identity selection,
+    /// no rows touched.
+    pub fn from_table(table: &'a Table, alias: &str) -> Self {
+        Self::from_sources(
+            Relation::table_columns(table, alias),
+            vec![Source {
+                table,
+                row_ids: RowIds::Identity,
+            }],
+            table.len(),
+        )
+    }
+
+    /// A filtered scan of `table` under `alias`: the selection vector the
+    /// sharded parallel scan ([`crate::scan::filter_indices`]) returns,
+    /// held directly — rows failing `pred` are never touched again.
+    pub fn from_table_filtered(table: &'a Table, alias: &str, pred: &Expr) -> Result<Self> {
+        let sel = crate::scan::filter_indices(table, pred)?;
+        let n = sel.len();
+        Ok(Self::from_sources(
+            Relation::table_columns(table, alias),
+            vec![Source {
+                table,
+                row_ids: RowIds::Sel(sel),
+            }],
+            n,
+        ))
+    }
+
+    /// Number of logical rows.
+    pub fn len(&self) -> usize {
+        self.n_rows
+    }
+
+    /// True when no logical row survives.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// The output columns (same metadata a materialized scan would carry).
+    pub fn columns(&self) -> &[RelColumn] {
+        &self.columns
+    }
+
+    /// Resolves a (possibly qualified) column name to its position; errors
+    /// on unknown and ambiguous names, exactly like
+    /// [`Relation::resolve`](crate::algebra::Relation::resolve).
+    pub fn resolve(&self, name: &str) -> Result<usize> {
+        resolve_name(&self.columns, name)
+    }
+
+    /// The column store and row-id vector behind output column `col`.
+    fn col_source(&self, col: usize) -> (&'a ColumnStore, &RowIds) {
+        let (si, ci) = self.col_map[col];
+        let s = &self.sources[si as usize];
+        (s.table.column(ci as usize), &s.row_ids)
+    }
+
+    /// Materializes the cell at (`row`, `col`).
+    ///
+    /// # Panics
+    /// If either index is out of range.
+    pub fn cell(&self, row: usize, col: usize) -> Value {
+        let (store, ids) = self.col_source(col);
+        store.get(ids.get(row))
+    }
+
+    /// Rebuilds every source's row-id vector through `positions` (logical
+    /// rows to keep, in output order).
+    fn composed(&self, positions: &[u32], other: Option<(&Self, &[u32])>) -> ColRelation<'a> {
+        let mut columns = self.columns.clone();
+        let mut sources: Vec<Source<'a>> = self
+            .sources
+            .iter()
+            .map(|s| Source {
+                table: s.table,
+                row_ids: s.row_ids.compose(positions),
+            })
+            .collect();
+        if let Some((rhs, rhs_positions)) = other {
+            columns.extend(rhs.columns.iter().cloned());
+            sources.extend(rhs.sources.iter().map(|s| Source {
+                table: s.table,
+                row_ids: s.row_ids.compose(rhs_positions),
+            }));
+        }
+        Self::from_sources(columns, sources, positions.len())
+    }
+
+    /// σ — keeps logical rows satisfying `pred`, composing the surviving
+    /// positions into every row-id vector. Only the columns `pred`
+    /// references are read.
+    pub fn select(&self, pred: &Expr) -> Result<ColRelation<'a>> {
+        let cols = crate::scan::pred_columns(pred);
+        if let Some(&max) = cols.last() {
+            if max >= self.columns.len() {
+                return Err(Error::Eval(format!("predicate column {max} out of range")));
+            }
+        }
+        let mut buf: Vec<Value> = vec![Value::Null; self.columns.len()];
+        let mut keep: Vec<u32> = Vec::new();
+        for r in 0..self.n_rows {
+            for &c in &cols {
+                buf[c] = self.cell(r, c);
+            }
+            if pred.matches(&buf)? {
+                keep.push(r as u32);
+            }
+        }
+        Ok(self.composed(&keep, None))
+    }
+
+    /// Equi-join on `self[left_col] = other[right_col]` using a build/probe
+    /// hash join over the key columns.
+    ///
+    /// The smaller side is the build side: its key column is hashed into a
+    /// chained index (key word -> chain of build positions), then the probe
+    /// side's key column is scanned as a batch, emitting paired
+    /// (build-position, probe-position) vectors. Those compose with the
+    /// inputs' existing selections — no row of either side is copied. When
+    /// both key columns are `INT` (or both `TEXT`), keys hash straight off
+    /// the `i64` (or interned `u32` symbol) column words; mixed-type keys
+    /// fall back to [`Value`] keys with the same NULL-never-matches and
+    /// `Int`/`Float` widening semantics as the row-at-a-time reference
+    /// join. Output columns are `self.columns ++ other.columns`.
+    pub fn hash_join(
+        &self,
+        other: &ColRelation<'a>,
+        left_col: usize,
+        right_col: usize,
+    ) -> Result<ColRelation<'a>> {
+        if left_col >= self.columns.len() || right_col >= other.columns.len() {
+            return Err(Error::Eval("join column out of range".into()));
+        }
+        // Build on the smaller side.
+        let build_is_left = self.len() <= other.len();
+        let (build, probe, build_col, probe_col) = if build_is_left {
+            (self, other, left_col, right_col)
+        } else {
+            (other, self, right_col, left_col)
+        };
+        let (bstore, bids) = build.col_source(build_col);
+        let (pstore, pids) = probe.col_source(probe_col);
+        let (build_pos, probe_pos) = match (bstore.data(), pstore.data()) {
+            // INT = INT: keys are the i64 column words.
+            (ColumnData::Int(bv), ColumnData::Int(pv)) => join_positions(
+                build.len(),
+                |i| {
+                    let r = bids.get(i);
+                    (!bstore.is_null(r)).then(|| bv[r])
+                },
+                probe.len(),
+                |i| {
+                    let r = pids.get(i);
+                    (!pstore.is_null(r)).then(|| pv[r])
+                },
+            ),
+            // TEXT = TEXT: keys are the interned u32 symbol ids (equal
+            // strings hold equal ids, so id equality is string equality).
+            (ColumnData::Sym(bv), ColumnData::Sym(pv)) => join_positions(
+                build.len(),
+                |i| {
+                    let r = bids.get(i);
+                    (!bstore.is_null(r)).then(|| bv[r].id())
+                },
+                probe.len(),
+                |i| {
+                    let r = pids.get(i);
+                    (!pstore.is_null(r)).then(|| pv[r].id())
+                },
+            ),
+            // Mixed / float / bool keys: `Value` keys (hashing widens
+            // integral floats so `Int(2)` matches `Float(2.0)`).
+            _ => join_positions(
+                build.len(),
+                |i| {
+                    let v = bstore.get(bids.get(i));
+                    (!v.is_null()).then_some(v)
+                },
+                probe.len(),
+                |i| {
+                    let v = pstore.get(pids.get(i));
+                    (!v.is_null()).then_some(v)
+                },
+            ),
+        };
+        check_cardinality(build_pos.len())?;
+        Ok(if build_is_left {
+            build.composed(&build_pos, Some((probe, &probe_pos)))
+        } else {
+            probe.composed(&probe_pos, Some((build, &build_pos)))
+        })
+    }
+
+    /// × — Cartesian product; both sides' row-id vectors are tiled, no row
+    /// is copied.
+    pub fn cross(&self, other: &ColRelation<'a>) -> Result<ColRelation<'a>> {
+        let (ln, rn) = (self.len(), other.len());
+        let n = ln
+            .checked_mul(rn)
+            .filter(|&n| n <= u32::MAX as usize)
+            .ok_or_else(cardinality_error)?;
+        let mut left_pos = Vec::with_capacity(n);
+        let mut right_pos = Vec::with_capacity(n);
+        for l in 0..ln as u32 {
+            for r in 0..rn as u32 {
+                left_pos.push(l);
+                right_pos.push(r);
+            }
+        }
+        Ok(self.composed(&left_pos, Some((other, &right_pos))))
+    }
+
+    /// GROUP BY + aggregates straight off the selection vectors: feeds the
+    /// shared vectorized grouping kernel with a cell accessor over the
+    /// row-id vectors, so grouped join queries never materialize an input
+    /// row. Semantics are identical to materializing the join and calling
+    /// [`Relation::group_by`](crate::algebra::Relation::group_by).
+    pub fn group_by(&self, group_cols: &[usize], aggs: &[AggSpec]) -> Result<Relation> {
+        crate::algebra::group_core(
+            self.n_rows,
+            |r, c| self.cell(r, c),
+            &self.columns,
+            group_cols,
+            aggs,
+        )
+    }
+
+    /// The permutation ORDER BY `keys` induces (stable: ties keep input
+    /// order), computed over rank-decorated key columns hoisted once per
+    /// key — the engine's sort policy, without materializing any row.
+    pub fn sort_order(&self, keys: &[SortKey]) -> Vec<u32> {
+        let ranks = crate::intern::rank_map();
+        // Key columns are hoisted column-at-a-time: one contiguous
+        // SortCell vector per key.
+        let decorated: Vec<Vec<SortCell>> = keys
+            .iter()
+            .map(|k| {
+                let (store, ids) = self.col_source(k.column);
+                (0..self.n_rows)
+                    .map(|r| SortCell::new(store.get(ids.get(r)), &ranks))
+                    .collect()
+            })
+            .collect();
+        let mut order: Vec<u32> = (0..self.n_rows as u32).collect();
+        order.sort_by(|&a, &b| {
+            for (ki, k) in keys.iter().enumerate() {
+                let ord = SortCell::total_cmp(decorated[ki][a as usize], decorated[ki][b as usize]);
+                let ord = if k.descending { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        order
+    }
+
+    /// π — the final projection: gathers each picked cell exactly once out
+    /// of the base tables' column stores into output rows, in `order` (a
+    /// permutation from [`ColRelation::sort_order`]) or input order. This
+    /// is the only place in the columnar pipeline where rows come into
+    /// existence.
+    pub fn project(
+        &self,
+        columns: Vec<RelColumn>,
+        picks: &[Pick],
+        order: Option<&[u32]>,
+    ) -> Relation {
+        let mut rows = Vec::with_capacity(self.n_rows);
+        let mut emit = |r: usize| {
+            let row: Vec<Value> = picks
+                .iter()
+                .map(|p| match p {
+                    Pick::Col(c) => self.cell(r, *c),
+                    Pick::Lit(v) => *v,
+                })
+                .collect();
+            rows.push(row);
+        };
+        match order {
+            Some(perm) => perm.iter().for_each(|&r| emit(r as usize)),
+            None => (0..self.n_rows).for_each(&mut emit),
+        }
+        Relation::new(columns, rows)
+    }
+}
+
+/// Every `ColRelation` keeps `n_rows <= u32::MAX` so logical-row
+/// positions always fit the `u32` id space. Base scans inherit the cap
+/// from [`crate::table::MAX_ROWS`]; the two operators that can *grow*
+/// cardinality (hash join under duplicate keys, cross product) enforce it
+/// explicitly and error instead of silently truncating positions.
+fn check_cardinality(n: usize) -> Result<()> {
+    if n > u32::MAX as usize {
+        Err(cardinality_error())
+    } else {
+        Ok(())
+    }
+}
+
+fn cardinality_error() -> Error {
+    Error::Eval(format!(
+        "intermediate relation exceeds the u32 row-id space ({} rows)",
+        u32::MAX
+    ))
+}
+
+/// A fast hasher for join keys (`i64` / `u32` column words and [`Value`]
+/// keys): a SplitMix64-style finalizer per word, byte-fold fallback for
+/// anything else. Join keys are attacker-free machine words, so the DoS
+/// resistance of SipHash buys nothing here and its per-hash overhead
+/// dominates small build sides.
+#[derive(Default)]
+struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        let mut z = self.0 ^ x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, x: i64) {
+        self.write_u64(x as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, x: u32) {
+        self.write_u64(u64::from(x));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, x: u8) {
+        self.write_u64(u64::from(x));
+    }
+}
+
+/// The build/probe kernel shared by every key type: hashes the build
+/// side's keys into a chained index (`head` maps a key to its latest
+/// one-based build position; `next` links each build position to the
+/// previous one holding the same key, with 0 terminating the chain), then
+/// scans the probe side's keys as a batch and emits paired
+/// (build-position, probe-position) vectors. `None` keys (NULLs) never
+/// enter the index and never probe, so NULL join keys match nothing.
+fn join_positions<K, B, P>(
+    build_n: usize,
+    build_key: B,
+    probe_n: usize,
+    probe_key: P,
+) -> (Vec<u32>, Vec<u32>)
+where
+    K: std::hash::Hash + Eq,
+    B: Fn(usize) -> Option<K>,
+    P: Fn(usize) -> Option<K>,
+{
+    let mut head: HashMap<K, u32, BuildHasherDefault<KeyHasher>> =
+        HashMap::with_capacity_and_hasher(build_n, BuildHasherDefault::default());
+    let mut next: Vec<u32> = vec![0; build_n];
+    for (i, link) in next.iter_mut().enumerate() {
+        if let Some(k) = build_key(i) {
+            let slot = head.entry(k).or_insert(0);
+            *link = *slot;
+            *slot = (i + 1) as u32;
+        }
+    }
+    let mut build_pos = Vec::new();
+    let mut probe_pos = Vec::new();
+    for p in 0..probe_n {
+        let Some(k) = probe_key(p) else { continue };
+        let Some(&h) = head.get(&k) else { continue };
+        let mut cur = h;
+        while cur != 0 {
+            build_pos.push(cur - 1);
+            probe_pos.push(p as u32);
+            cur = next[(cur - 1) as usize];
+        }
+    }
+    (build_pos, probe_pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{AggFunc, Relation};
+    use crate::schema::{Column, TableSchema};
+    use crate::value::DataType;
+
+    fn table(name: &str, cols: Vec<Column>, rows: Vec<Vec<Value>>) -> Table {
+        let mut t = Table::new(TableSchema::new(name, cols)).unwrap();
+        t.append_rows(rows).unwrap();
+        t
+    }
+
+    fn ints(name: &str, vals: &[Option<i64>]) -> Table {
+        table(
+            name,
+            vec![Column::nullable("k", DataType::Int)],
+            vals.iter()
+                .map(|v| vec![v.map(Value::Int).unwrap_or(Value::Null)])
+                .collect(),
+        )
+    }
+
+    fn sorted_rows(rel: &Relation) -> Vec<Vec<Value>> {
+        let mut rows = rel.rows.clone();
+        rows.sort();
+        rows
+    }
+
+    fn all_picks(rel: &ColRelation) -> (Vec<RelColumn>, Vec<Pick>) {
+        (
+            rel.columns().to_vec(),
+            (0..rel.columns().len()).map(Pick::Col).collect(),
+        )
+    }
+
+    /// Materializes a ColRelation in input order (tests only).
+    fn materialize(rel: &ColRelation) -> Relation {
+        let (cols, picks) = all_picks(rel);
+        rel.project(cols, &picks, None)
+    }
+
+    #[test]
+    fn filtered_scan_is_the_selection_vector() {
+        let t = ints("t", &[Some(1), Some(5), None, Some(9), Some(2)]);
+        let rel =
+            ColRelation::from_table_filtered(&t, "t", &Expr::col(0).ge(Expr::lit(3))).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(materialize(&rel).rows, vec![vec![5.into()], vec![9.into()]]);
+    }
+
+    #[test]
+    fn int_join_matches_row_reference_join() {
+        let l = ints("l", &[Some(1), Some(2), None, Some(2), Some(7)]);
+        let r = ints("r", &[Some(2), None, Some(2), Some(1), Some(8)]);
+        let cl = ColRelation::from_table(&l, "l");
+        let cr = ColRelation::from_table(&r, "r");
+        let col = cl.hash_join(&cr, 0, 0).unwrap();
+        let reference = Relation::from_table(&l, "l")
+            .hash_join(&Relation::from_table(&r, "r"), 0, 0)
+            .unwrap();
+        // 2x2 duplicate multiplicity + 1x1; NULLs never match: 5 rows.
+        assert_eq!(col.len(), 5);
+        assert_eq!(sorted_rows(&materialize(&col)), sorted_rows(&reference));
+    }
+
+    #[test]
+    fn text_join_hashes_symbol_words() {
+        let mk = |name: &str, tags: &[Option<&str>]| {
+            table(
+                name,
+                vec![Column::nullable("tag", DataType::Text)],
+                tags.iter()
+                    .map(|t| vec![t.map(Value::text).unwrap_or(Value::Null)])
+                    .collect(),
+            )
+        };
+        let l = mk("l", &[Some("colrel-zz"), Some("colrel-aa"), None]);
+        let r = mk("r", &[Some("colrel-aa"), None, Some("colrel-aa")]);
+        let cl = ColRelation::from_table(&l, "l");
+        let cr = ColRelation::from_table(&r, "r");
+        let out = cl.hash_join(&cr, 0, 0).unwrap();
+        assert_eq!(out.len(), 2);
+        let rows = materialize(&out).rows;
+        assert!(rows.iter().all(|row| row[0] == "colrel-aa".into()));
+    }
+
+    #[test]
+    fn mixed_int_float_keys_widen() {
+        let l = ints("l", &[Some(2), Some(3)]);
+        let r = table(
+            "r",
+            vec![Column::nullable("f", DataType::Float)],
+            vec![vec![Value::Float(2.0)], vec![Value::Float(2.5)]],
+        );
+        let out = ColRelation::from_table(&l, "l")
+            .hash_join(&ColRelation::from_table(&r, "r"), 0, 0)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            materialize(&out).rows[0],
+            vec![Value::Int(2), Value::Float(2.0)]
+        );
+    }
+
+    #[test]
+    fn join_composes_prior_selections() {
+        let l = ints("l", &[Some(1), Some(2), Some(3), Some(4)]);
+        let r = ints("r", &[Some(4), Some(3), Some(2), Some(1)]);
+        let cl = ColRelation::from_table_filtered(&l, "l", &Expr::col(0).ge(Expr::lit(3))).unwrap();
+        let cr = ColRelation::from_table_filtered(&r, "r", &Expr::col(0).le(Expr::lit(3))).unwrap();
+        let out = cl.hash_join(&cr, 0, 0).unwrap();
+        assert_eq!(
+            sorted_rows(&materialize(&out)),
+            vec![vec![3.into(), 3.into()]]
+        );
+    }
+
+    #[test]
+    fn cross_then_select_matches_reference() {
+        let l = ints("l", &[Some(1), Some(2)]);
+        let r = ints("r", &[Some(10), Some(20), Some(30)]);
+        let cl = ColRelation::from_table(&l, "l");
+        let cr = ColRelation::from_table(&r, "r");
+        let crossed = cl.cross(&cr).unwrap();
+        assert_eq!(crossed.len(), 6);
+        let picked = crossed.select(&Expr::col(1).gt(Expr::lit(15))).unwrap();
+        assert_eq!(picked.len(), 4);
+        let reference = Relation::from_table(&l, "l")
+            .cross(&Relation::from_table(&r, "r"))
+            .select(&Expr::col(1).gt(Expr::lit(15)))
+            .unwrap();
+        assert_eq!(sorted_rows(&materialize(&picked)), sorted_rows(&reference));
+    }
+
+    #[test]
+    fn group_by_matches_materialized_group_by() {
+        let l = ints("l", &[Some(1), Some(2), Some(1), Some(2), Some(1)]);
+        let r = ints("r", &[Some(1), Some(2)]);
+        let joined = ColRelation::from_table(&l, "l")
+            .hash_join(&ColRelation::from_table(&r, "r"), 0, 0)
+            .unwrap();
+        let aggs = [AggSpec::new(AggFunc::Count, None, "n")];
+        let grouped = joined.group_by(&[1], &aggs).unwrap();
+        let reference = materialize(&joined).group_by(&[1], &aggs).unwrap();
+        assert_eq!(sorted_rows(&grouped), sorted_rows(&reference));
+    }
+
+    #[test]
+    fn project_applies_order_and_literals() {
+        let t = ints("t", &[Some(3), Some(1), Some(2)]);
+        let rel = ColRelation::from_table(&t, "t");
+        let order = rel.sort_order(&[SortKey::asc(0)]);
+        let out = rel.project(
+            vec![
+                RelColumn::bare("k", DataType::Int),
+                RelColumn::bare("c", DataType::Int),
+            ],
+            &[Pick::Col(0), Pick::Lit(Value::Int(7))],
+            Some(&order),
+        );
+        assert_eq!(
+            out.rows,
+            vec![
+                vec![1.into(), 7.into()],
+                vec![2.into(), 7.into()],
+                vec![3.into(), 7.into()],
+            ]
+        );
+    }
+
+    #[test]
+    fn sort_order_is_stable_on_ties() {
+        let t = table(
+            "t",
+            vec![
+                Column::new("k", DataType::Int),
+                Column::new("i", DataType::Int),
+            ],
+            vec![
+                vec![1.into(), 0.into()],
+                vec![0.into(), 1.into()],
+                vec![1.into(), 2.into()],
+                vec![0.into(), 3.into()],
+            ],
+        );
+        let rel = ColRelation::from_table(&t, "t");
+        assert_eq!(rel.sort_order(&[SortKey::asc(0)]), vec![1, 3, 0, 2]);
+    }
+}

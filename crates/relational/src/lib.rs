@@ -12,6 +12,10 @@
 //!   indexes and a row-facade API,
 //! * a relational algebra ([`algebra::Relation`]) with selection, projection,
 //!   hash/nested-loop joins, grouping and sorting,
+//! * columnar intermediate relations ([`colrel::ColRelation`]): selection
+//!   vectors over base tables with build/probe hash joins, which the SQL
+//!   executor carries from the scan to the final projection without
+//!   materializing intermediate rows,
 //! * a small SQL dialect ([`sql`]) with a greedy hash-join planner.
 //!
 //! ```
@@ -29,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod algebra;
+pub mod colrel;
 pub mod csv;
 pub mod database;
 pub mod expr;

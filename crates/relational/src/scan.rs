@@ -109,8 +109,10 @@ where
     Ok(merged)
 }
 
-/// The deduplicated column positions `pred` actually reads.
-fn pred_columns(pred: &Expr) -> Vec<usize> {
+/// The deduplicated column positions `pred` actually reads (ascending).
+/// Shared with [`crate::colrel::ColRelation::select`], which evaluates
+/// residual predicates over only these columns.
+pub(crate) fn pred_columns(pred: &Expr) -> Vec<usize> {
     let mut cols = pred.referenced_columns();
     cols.sort_unstable();
     cols.dedup();
@@ -125,16 +127,19 @@ fn fill_cells(table: &Table, i: usize, cols: &[usize], buf: &mut [Value]) {
     }
 }
 
-/// Materializes every row of `table` satisfying `pred`, in row order.
+/// Row ids of `table` satisfying `pred`, ascending.
 ///
-/// This is the parallel pushdown scan behind
-/// [`Relation::from_table_filtered`](crate::algebra::Relation::from_table_filtered).
-/// Each shard evaluates the predicate over **only the columns it
-/// references** (one reusable full-width buffer, untouched slots stay
-/// NULL), then materializes full rows just for the hits — so a selective
-/// filter over a wide table never pays per-row work proportional to the
-/// table width.
-pub fn filter_rows(table: &Table, pred: &Expr) -> Result<Vec<Row>> {
+/// This is the parallel pushdown scan: its output is the selection vector
+/// the executor's columnar pipeline
+/// ([`ColRelation`](crate::colrel::ColRelation)) carries end to end, so a
+/// filtered-out row is never touched again after the scan — no row is
+/// materialized, not even for hits. Each shard evaluates the predicate
+/// over **only the columns it references** (one reusable full-width
+/// buffer, untouched slots stay NULL), so a selective filter over a wide
+/// table never pays per-row work proportional to the table width. Row ids
+/// are `u32` across the selection-vector pipeline ([`Table`]s are capped
+/// at `u32::MAX` rows).
+pub fn filter_indices(table: &Table, pred: &Expr) -> Result<Vec<u32>> {
     let cols = pred_columns(pred);
     let width = table.schema().columns.len();
     run_sharded(table.len(), |range| {
@@ -143,30 +148,7 @@ pub fn filter_rows(table: &Table, pred: &Expr) -> Result<Vec<Row>> {
         for i in range {
             fill_cells(table, i, &cols, &mut buf);
             if pred.matches(&buf)? {
-                let mut full = Row::with_capacity(width);
-                table.read_row(i, &mut full);
-                out.push(full);
-            }
-        }
-        Ok(out)
-    })
-}
-
-/// Row indices of `table` satisfying `pred`, ascending.
-///
-/// The selection-vector variant of [`filter_rows`] for consumers that
-/// aggregate straight from the table's columns (the executor's vectorized
-/// group scan) and never materialize rows at all — not even for hits.
-pub fn filter_indices(table: &Table, pred: &Expr) -> Result<Vec<usize>> {
-    let cols = pred_columns(pred);
-    let width = table.schema().columns.len();
-    run_sharded(table.len(), |range| {
-        let mut buf: Row = vec![Value::Null; width];
-        let mut out = Vec::new();
-        for i in range {
-            fill_cells(table, i, &cols, &mut buf);
-            if pred.matches(&buf)? {
-                out.push(i);
+                out.push(i as u32);
             }
         }
         Ok(out)
@@ -215,13 +197,10 @@ mod tests {
         for i in 0..t.len() {
             t.read_row(i, &mut buf);
             if pred.matches(&buf).unwrap() {
-                seq.push(i);
+                seq.push(i as u32);
             }
         }
         assert_eq!(filter_indices(&t, &pred).unwrap(), seq);
-        let rows = filter_rows(&t, &pred).unwrap();
-        assert_eq!(rows.len(), seq.len());
-        assert_eq!(rows[0][0], t.value(seq[0], 0));
     }
 
     #[test]
@@ -230,7 +209,7 @@ mod tests {
         // failing row in row order even though later chunks also fail.
         let t = table(4 * CHUNK_ROWS);
         let pred = Expr::col(1).like("a%");
-        let err = filter_rows(&t, &pred).unwrap_err().to_string();
+        let err = filter_indices(&t, &pred).unwrap_err().to_string();
         let mut buf = Row::new();
         let seq_err = (0..t.len())
             .find_map(|i| {

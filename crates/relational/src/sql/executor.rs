@@ -5,9 +5,17 @@
 //! single-table predicates are pushed below joins, equi-join conjuncts become
 //! hash joins chosen greedily from the smallest filtered relation outward,
 //! and anything else is applied as a residual filter.
+//!
+//! Execution is columnar end to end: every base scan yields a
+//! [`ColRelation`] (a selection vector over the stored table — see
+//! [`crate::colrel`]), joins compose paired row-id vectors, residual
+//! filters and ORDER BY rewrite or permute those vectors, and rows are
+//! materialized exactly once — by the final projection gather, or never,
+//! when a grouped tail aggregates straight off the selection vectors.
 
 use super::ast::*;
-use crate::algebra::{AggSpec, Relation, SortKey};
+use crate::algebra::{resolve_name, AggSpec, RelColumn, Relation, SortKey};
+use crate::colrel::{ColRelation, Pick};
 use crate::database::Database;
 use crate::expr::Expr;
 use crate::schema::{Column, ForeignKey, TableSchema};
@@ -96,9 +104,9 @@ fn resolve_single_table(
     table: &str,
     where_clause: Option<&SqlExpr>,
 ) -> Result<Expr> {
-    let shape = Relation::new(Relation::table_columns(db.table(table)?, table), Vec::new());
+    let columns = Relation::table_columns(db.table(table)?, table);
     match where_clause {
-        Some(w) => resolve_row_expr(w, &shape),
+        Some(w) => resolve_row_expr(w, &columns),
         None => Ok(Expr::Literal(Value::Bool(true))),
     }
 }
@@ -141,13 +149,12 @@ fn execute_query_traced(
         }
         aliases.push(alias);
     }
-    // Validate every table reference now; materialization is deferred to
-    // the pushdown step so filtered base tables stream column-at-a-time
-    // out of storage instead of being cloned wholesale first.
+    // Validate every table reference now; the scans themselves are built
+    // in the pushdown step as columnar selection vectors — no base table
+    // is ever cloned or materialized into rows.
     for r in &refs {
         db.table(&r.table)?;
     }
-    let mut relations: Vec<Option<Relation>> = refs.iter().map(|_| None).collect();
 
     // 2. Gather conjuncts from WHERE and JOIN..ON.
     let mut conjuncts: Vec<&SqlExpr> = Vec::new();
@@ -214,70 +221,28 @@ fn execute_query_traced(
         }
     }
 
-    // 3. Vectorized fast path: a grouped (or globally aggregated) query
-    //    over a single table with no residual predicates aggregates
-    //    straight off the columnar storage — the pushdown filter becomes a
-    //    selection vector from the sharded parallel scan, and no
-    //    intermediate row is ever materialized.
-    if refs.len() == 1
-        && edges.is_empty()
-        && residual.is_empty()
-        && (!q.group_by.is_empty() || query_has_aggregates(q))
-    {
-        let table = db.table(&refs[0].table)?;
-        let alias = refs[0].effective_alias();
-        let shape = Relation::new(Relation::table_columns(table, alias), Vec::new());
-        let plan = plan_grouping(q, &shape)?;
-        let sel: Option<Vec<usize>> = match combine_preds(&single[0], &shape)? {
-            Some(pred) => {
-                let sel = crate::scan::filter_indices(table, &pred)?;
-                log!(
-                    "scan {} ({} rows) pushdown [{}] -> {} rows (vectorized group scan)",
-                    aliases[0],
-                    table.len(),
-                    single[0]
-                        .iter()
-                        .map(|p| p.to_string())
-                        .collect::<Vec<_>>()
-                        .join(" AND "),
-                    sel.len()
-                );
-                Some(sel)
-            }
-            None => {
-                log!(
-                    "scan {} ({} rows) vectorized group scan",
-                    aliases[0],
-                    table.len()
-                );
-                None
-            }
-        };
-        log!("group by {} key(s)", q.group_by.len());
-        let grouped =
-            Relation::group_scan(table, &shape, sel.as_deref(), &plan.group_cols, &plan.specs)?;
-        let out = grouped_tail(q, grouped, &plan, &ENGINE_KERNELS)?;
-        log!("output: {} rows x {} columns", out.len(), out.columns.len());
-        return Ok(out);
-    }
-
-    // 4. Materialize base relations, pushing single-table predicates into
-    //    the columnar scan (filtered-out rows are never materialized).
+    // 3. Build the columnar scan of every base relation, pushing
+    //    single-table predicates into the sharded parallel scan. A
+    //    filtered scan *is* the selection vector `scan::filter_indices`
+    //    returns; from here to the final projection the pipeline only
+    //    rewrites row-id vectors, so filtered-out rows are never touched
+    //    again and no intermediate row is materialized.
+    let mut relations: Vec<Option<ColRelation>> = Vec::with_capacity(refs.len());
     for (i, preds) in single.iter().enumerate() {
         let table = db.table(&refs[i].table)?;
         let alias = refs[i].effective_alias();
         if preds.is_empty() {
-            let rel = Relation::from_table(table, alias);
+            let rel = ColRelation::from_table(table, alias);
             log!("scan {} ({} rows)", aliases[i], rel.len());
-            relations[i] = Some(rel);
+            relations.push(Some(rel));
             continue;
         }
         // Resolve the predicates against the scan's column shape (no rows
         // needed for name resolution).
-        let shape = Relation::new(Relation::table_columns(table, alias), Vec::new());
+        let shape = Relation::table_columns(table, alias);
         let before = table.len();
         let combined = combine_preds(preds, &shape)?.expect("non-empty");
-        let filtered = Relation::from_table_filtered(table, alias, &combined)?;
+        let filtered = ColRelation::from_table_filtered(table, alias, &combined)?;
         log!(
             "scan {} ({} rows) pushdown [{}] -> {} rows",
             aliases[i],
@@ -289,15 +254,18 @@ fn execute_query_traced(
                 .join(" AND "),
             filtered.len()
         );
-        relations[i] = Some(filtered);
+        relations.push(Some(filtered));
     }
 
-    // 5. Greedy join: start from the smallest relation; repeatedly join the
-    //    connected relation via hash join, else cross the smallest remaining.
+    // 4. Greedy join: start from the smallest relation; repeatedly join the
+    //    connected relation via a build/probe hash join over the key
+    //    columns, else cross the smallest remaining. Each join emits
+    //    paired (build, probe) position vectors that compose with the
+    //    inputs' selections.
     let mut remaining: Vec<usize> = (0..refs.len()).collect();
     let start = *remaining
         .iter()
-        .min_by_key(|&&i| relations[i].as_ref().map(Relation::len).unwrap_or(0))
+        .min_by_key(|&&i| relations[i].as_ref().map(ColRelation::len).unwrap_or(0))
         .expect("at least one table");
     remaining.retain(|&i| i != start);
     let mut joined_ids = vec![start];
@@ -356,11 +324,11 @@ fn execute_query_traced(
                 // Disconnected: cross product with the smallest remaining.
                 let other = *remaining
                     .iter()
-                    .min_by_key(|&&i| relations[i].as_ref().map(Relation::len).unwrap_or(0))
+                    .min_by_key(|&&i| relations[i].as_ref().map(ColRelation::len).unwrap_or(0))
                     .expect("non-empty");
                 let other_rel = relations[other].take().expect("present");
                 let right_rows = other_rel.len();
-                current = current.cross(&other_rel);
+                current = current.cross(&other_rel)?;
                 log!(
                     "cross product with {} ({} rows) -> {} rows",
                     aliases[other],
@@ -386,19 +354,54 @@ fn execute_query_traced(
         }
     }
 
-    // 6. Residual predicates.
+    // 5. Residual predicates (evaluated over only the columns they read).
     for p in residual {
-        let e = resolve_row_expr(p, &current)?;
+        let e = resolve_row_expr(p, current.columns())?;
         current = current.select(&e)?;
         log!("residual filter [{p}] -> {} rows", current.len());
     }
 
-    // 7. Grouping / aggregation / projection tail.
-    if !q.group_by.is_empty() {
-        log!("group by {} key(s)", q.group_by.len());
+    // 6. Grouping / aggregation / projection tail. Grouped queries
+    //    aggregate straight off the selection vectors (no input row is
+    //    ever materialized); plain queries sort by permutation and gather
+    //    rows exactly once, in the final projection.
+    if !q.group_by.is_empty() || query_has_aggregates(q) {
+        if !q.group_by.is_empty() {
+            log!("group by {} key(s)", q.group_by.len());
+        }
+        let plan = plan_grouping(q, current.columns())?;
+        let grouped = current.group_by(&plan.group_cols, &plan.specs)?;
+        let out = grouped_tail(q, grouped, &plan, &ENGINE_KERNELS)?;
+        log!("output: {} rows x {} columns", out.len(), out.columns.len());
+        return Ok(out);
     }
-    let out = finish_query(q, current)?;
+    let out = columnar_plain_tail(q, &current)?;
     log!("output: {} rows x {} columns", out.len(), out.columns.len());
+    Ok(out)
+}
+
+/// The non-grouped query tail over the columnar pipeline: ORDER BY becomes
+/// a permutation over rank-decorated key columns, the final projection
+/// gathers each output cell once (in permuted order), and DISTINCT /
+/// OFFSET / LIMIT run on the already-final output.
+fn columnar_plain_tail(q: &Query, input: &ColRelation) -> Result<Relation> {
+    let (out_cols, picks) = plan_picks(q, input.columns())?;
+    let order = if q.order_by.is_empty() {
+        None
+    } else {
+        let keys = plain_order_keys(q, input.columns(), &out_cols, &picks)?;
+        Some(input.sort_order(&keys))
+    };
+    let mut out = input.project(out_cols, &picks, order.as_deref());
+    if q.distinct {
+        out = out.distinct();
+    }
+    if q.offset > 0 {
+        out = out.offset(q.offset);
+    }
+    if let Some(n) = q.limit {
+        out = out.limit(n);
+    }
     Ok(out)
 }
 
@@ -412,11 +415,12 @@ fn query_has_aggregates(q: &Query) -> bool {
         || q.order_by.iter().any(|o| o.expr.contains_aggregate())
 }
 
-/// ANDs a conjunct list resolved against `shape`; `None` for an empty list.
-fn combine_preds(preds: &[&SqlExpr], shape: &Relation) -> Result<Option<Expr>> {
+/// ANDs a conjunct list resolved against a column shape; `None` for an
+/// empty list.
+fn combine_preds(preds: &[&SqlExpr], columns: &[RelColumn]) -> Result<Option<Expr>> {
     let mut combined: Option<Expr> = None;
     for p in preds {
-        let e = resolve_row_expr(p, shape)?;
+        let e = resolve_row_expr(p, columns)?;
         combined = Some(match combined {
             Some(c) => c.and(e),
             None => e,
@@ -425,15 +429,18 @@ fn combine_preds(preds: &[&SqlExpr], shape: &Relation) -> Result<Option<Expr>> {
     Ok(combined)
 }
 
-/// The data-movement kernels the query tail dispatches through.
+/// The data-movement kernels the materialized-relation query tail
+/// dispatches through.
 ///
 /// Name resolution and output shaping are shared between the optimizing
 /// executor and the naive oracle (they are *specification*, not
 /// optimization), but the kernels that actually group, sort and
-/// deduplicate rows are injected: the executor uses the vectorized
-/// `group_core`/rank-keyed implementations, while [`super::naive`]
-/// supplies independent row-at-a-time ones — so a bug in a vectorized
-/// kernel cannot cancel out in differential tests.
+/// deduplicate rows are injected. The executor's own pipeline is columnar
+/// ([`crate::colrel`]) and only reaches these kernels for the
+/// post-aggregation tail over the (small, materialized) grouped relation;
+/// [`super::naive`] runs its whole tail through independent row-at-a-time
+/// kernels — so a bug in a vectorized kernel cannot cancel out in
+/// differential tests.
 pub(crate) struct TailKernels {
     pub(crate) group: fn(&Relation, &[usize], &[AggSpec]) -> Result<Relation>,
     pub(crate) sort: fn(&Relation, &[SortKey]) -> Relation,
@@ -448,13 +455,10 @@ pub(crate) const ENGINE_KERNELS: TailKernels = TailKernels {
     distinct: |rel| rel.distinct(),
 };
 
-/// The planner-free tail of query execution: grouping, HAVING, ORDER BY,
-/// projection, DISTINCT, LIMIT, over the engine kernels.
-pub(crate) fn finish_query(q: &Query, current: Relation) -> Result<Relation> {
-    finish_query_with(q, current, &ENGINE_KERNELS)
-}
-
-/// [`finish_query`] over caller-supplied kernels (see [`TailKernels`]).
+/// The planner-free tail of query execution over a materialized relation
+/// and caller-supplied kernels (see [`TailKernels`]): grouping, HAVING,
+/// ORDER BY, projection, DISTINCT, LIMIT. Used by the naive oracle; the
+/// executor's columnar pipeline has its own tail.
 pub(crate) fn finish_query_with(
     q: &Query,
     current: Relation,
@@ -467,52 +471,60 @@ pub(crate) fn finish_query_with(
     }
 }
 
-/// Resolves a row-context expression (no aggregates) against a relation.
-pub(crate) fn resolve_row_expr(e: &SqlExpr, rel: &Relation) -> Result<Expr> {
+/// Resolves a row-context expression (no aggregates) against a column
+/// shape.
+pub(crate) fn resolve_row_expr(e: &SqlExpr, columns: &[RelColumn]) -> Result<Expr> {
     match e {
-        SqlExpr::Column(name) => Ok(Expr::Column(rel.resolve(name)?)),
+        SqlExpr::Column(name) => Ok(Expr::Column(resolve_name(columns, name)?)),
         SqlExpr::Literal(v) => Ok(Expr::Literal(*v)),
         SqlExpr::Aggregate { .. } => Err(Error::Eval(
             "aggregate not allowed in row context (WHERE/ON)".into(),
         )),
         SqlExpr::Cmp(op, a, b) => Ok(Expr::Cmp(
             *op,
-            Box::new(resolve_row_expr(a, rel)?),
-            Box::new(resolve_row_expr(b, rel)?),
+            Box::new(resolve_row_expr(a, columns)?),
+            Box::new(resolve_row_expr(b, columns)?),
         )),
-        SqlExpr::Like(a, p) => Ok(Expr::Like(Box::new(resolve_row_expr(a, rel)?), p.clone())),
+        SqlExpr::Like(a, p) => Ok(Expr::Like(
+            Box::new(resolve_row_expr(a, columns)?),
+            p.clone(),
+        )),
         SqlExpr::NotLike(a, p) => Ok(Expr::Not(Box::new(Expr::Like(
-            Box::new(resolve_row_expr(a, rel)?),
+            Box::new(resolve_row_expr(a, columns)?),
             p.clone(),
         )))),
-        SqlExpr::InList(a, l) => Ok(Expr::InList(Box::new(resolve_row_expr(a, rel)?), l.clone())),
-        SqlExpr::IsNull(a) => Ok(Expr::IsNull(Box::new(resolve_row_expr(a, rel)?))),
+        SqlExpr::InList(a, l) => Ok(Expr::InList(
+            Box::new(resolve_row_expr(a, columns)?),
+            l.clone(),
+        )),
+        SqlExpr::IsNull(a) => Ok(Expr::IsNull(Box::new(resolve_row_expr(a, columns)?))),
         SqlExpr::IsNotNull(a) => Ok(Expr::Not(Box::new(Expr::IsNull(Box::new(
-            resolve_row_expr(a, rel)?,
+            resolve_row_expr(a, columns)?,
         ))))),
-        SqlExpr::And(a, b) => Ok(resolve_row_expr(a, rel)?.and(resolve_row_expr(b, rel)?)),
-        SqlExpr::Or(a, b) => Ok(resolve_row_expr(a, rel)?.or(resolve_row_expr(b, rel)?)),
-        SqlExpr::Not(a) => Ok(resolve_row_expr(a, rel)?.not()),
+        SqlExpr::And(a, b) => Ok(resolve_row_expr(a, columns)?.and(resolve_row_expr(b, columns)?)),
+        SqlExpr::Or(a, b) => Ok(resolve_row_expr(a, columns)?.or(resolve_row_expr(b, columns)?)),
+        SqlExpr::Not(a) => Ok(resolve_row_expr(a, columns)?.not()),
     }
 }
 
-/// Executes the tail of a non-grouped query: ORDER BY, projection, DISTINCT,
-/// LIMIT.
-fn execute_plain(q: &Query, input: Relation, kernels: &TailKernels) -> Result<Relation> {
-    // Expand the select list into (output name, input column or literal).
-    let mut out_cols: Vec<crate::algebra::RelColumn> = Vec::new();
+/// Expands the select list of a non-grouped query against an input column
+/// shape into output columns plus one [`Pick`] per output column. Shared
+/// specification between the columnar tail and the oracle's
+/// materialized-relation tail.
+fn plan_picks(q: &Query, columns: &[RelColumn]) -> Result<(Vec<RelColumn>, Vec<Pick>)> {
+    let mut out_cols: Vec<RelColumn> = Vec::new();
     let mut picks: Vec<Pick> = Vec::new();
     for item in &q.items {
         match item {
             SelectItem::Wildcard => {
-                for (i, c) in input.columns.iter().enumerate() {
+                for (i, c) in columns.iter().enumerate() {
                     out_cols.push(c.clone());
                     picks.push(Pick::Col(i));
                 }
             }
             SelectItem::QualifiedWildcard(qual) => {
                 let mut any = false;
-                for (i, c) in input.columns.iter().enumerate() {
+                for (i, c) in columns.iter().enumerate() {
                     if c.qualifier.as_deref() == Some(qual.as_str()) {
                         out_cols.push(c.clone());
                         picks.push(Pick::Col(i));
@@ -525,17 +537,17 @@ fn execute_plain(q: &Query, input: Relation, kernels: &TailKernels) -> Result<Re
             }
             SelectItem::Expr { expr, alias } => match expr {
                 SqlExpr::Column(name) => {
-                    let i = input.resolve(name)?;
-                    let mut c = input.columns[i].clone();
+                    let i = resolve_name(columns, name)?;
+                    let mut c = columns[i].clone();
                     if let Some(a) = alias {
-                        c = crate::algebra::RelColumn::bare(a.clone(), c.data_type);
+                        c = RelColumn::bare(a.clone(), c.data_type);
                     }
                     out_cols.push(c);
                     picks.push(Pick::Col(i));
                 }
                 SqlExpr::Literal(v) => {
                     let ty = v.data_type().unwrap_or(crate::value::DataType::Int);
-                    out_cols.push(crate::algebra::RelColumn::bare(
+                    out_cols.push(RelColumn::bare(
                         alias.clone().unwrap_or_else(|| expr.to_string()),
                         ty,
                     ));
@@ -549,41 +561,58 @@ fn execute_plain(q: &Query, input: Relation, kernels: &TailKernels) -> Result<Re
             },
         }
     }
+    Ok((out_cols, picks))
+}
+
+/// Resolves a non-grouped query's ORDER BY keys against the input columns
+/// (output aliases that map to input columns are honored first).
+fn plain_order_keys(
+    q: &Query,
+    columns: &[RelColumn],
+    out_cols: &[RelColumn],
+    picks: &[Pick],
+) -> Result<Vec<SortKey>> {
+    q.order_by
+        .iter()
+        .map(|o| {
+            let col = match &o.expr {
+                SqlExpr::Column(name) => {
+                    // Prefer an output alias if one matches.
+                    let alias_hit = out_cols.iter().position(|c| c.matches_name(name)).and_then(
+                        |p| match picks[p] {
+                            Pick::Col(i) => Some(i),
+                            Pick::Lit(_) => None,
+                        },
+                    );
+                    match alias_hit {
+                        Some(i) => i,
+                        None => resolve_name(columns, name)?,
+                    }
+                }
+                other => {
+                    return Err(Error::Eval(format!(
+                        "unsupported ORDER BY expression `{other}`"
+                    )))
+                }
+            };
+            Ok(SortKey {
+                column: col,
+                descending: o.descending,
+            })
+        })
+        .collect()
+}
+
+/// Executes the tail of a non-grouped query over a materialized relation:
+/// ORDER BY, projection, DISTINCT, LIMIT. Only the naive oracle takes
+/// this path (see [`columnar_plain_tail`] for the executor's).
+fn execute_plain(q: &Query, input: Relation, kernels: &TailKernels) -> Result<Relation> {
+    let (out_cols, picks) = plan_picks(q, &input.columns)?;
 
     // ORDER BY on the input relation (names may also match output aliases).
     let mut rel = input;
     if !q.order_by.is_empty() {
-        let keys = q
-            .order_by
-            .iter()
-            .map(|o| {
-                let col = match &o.expr {
-                    SqlExpr::Column(name) => {
-                        // Prefer an output alias if one matches.
-                        let alias_hit = out_cols
-                            .iter()
-                            .position(|c| c.matches_name(name))
-                            .and_then(|p| match picks[p] {
-                                Pick::Col(i) => Some(i),
-                                Pick::Lit(_) => None,
-                            });
-                        match alias_hit {
-                            Some(i) => i,
-                            None => rel.resolve(name)?,
-                        }
-                    }
-                    other => {
-                        return Err(Error::Eval(format!(
-                            "unsupported ORDER BY expression `{other}`"
-                        )))
-                    }
-                };
-                Ok(SortKey {
-                    column: col,
-                    descending: o.descending,
-                })
-            })
-            .collect::<Result<Vec<_>>>()?;
+        let keys = plain_order_keys(q, &rel.columns, &out_cols, &picks)?;
         rel = (kernels.sort)(&rel, &keys);
     }
 
@@ -614,11 +643,6 @@ fn execute_plain(q: &Query, input: Relation, kernels: &TailKernels) -> Result<Re
     Ok(out)
 }
 
-enum Pick {
-    Col(usize),
-    Lit(Value),
-}
-
 /// The resolved grouping shape of a query: key positions, deduplicated
 /// aggregate specs, and the display strings the group-context resolver
 /// maps aggregate expressions back to.
@@ -629,16 +653,16 @@ struct GroupPlan {
 }
 
 /// Resolves GROUP BY keys and every aggregate (select list, HAVING, ORDER
-/// BY) against an input column shape. Only `shape.columns` is consulted,
-/// so the plan serves both the materialized-relation path and the
-/// vectorized table scan.
-fn plan_grouping(q: &Query, shape: &Relation) -> Result<GroupPlan> {
+/// BY) against an input column shape. Only the column metadata is
+/// consulted, so the plan serves both the columnar selection-vector path
+/// and the oracle's materialized-relation path.
+fn plan_grouping(q: &Query, columns: &[RelColumn]) -> Result<GroupPlan> {
     // Resolve group keys in row context.
     let group_cols: Vec<usize> = q
         .group_by
         .iter()
         .map(|g| match g {
-            SqlExpr::Column(name) => shape.resolve(name),
+            SqlExpr::Column(name) => resolve_name(columns, name),
             other => Err(Error::Eval(format!(
                 "unsupported GROUP BY expression `{other}`"
             ))),
@@ -672,7 +696,7 @@ fn plan_grouping(q: &Query, shape: &Relation) -> Result<GroupPlan> {
         if let SqlExpr::Aggregate { func, input: arg } = a {
             let input_col = match arg {
                 Some(e) => match e.as_ref() {
-                    SqlExpr::Column(name) => Some(shape.resolve(name)?),
+                    SqlExpr::Column(name) => Some(resolve_name(columns, name)?),
                     other => {
                         return Err(Error::Eval(format!(
                             "unsupported aggregate input `{other}`"
@@ -693,16 +717,19 @@ fn plan_grouping(q: &Query, shape: &Relation) -> Result<GroupPlan> {
 }
 
 /// Executes a grouped query over a materialized relation: GROUP BY +
-/// aggregates + HAVING + ORDER BY + projection.
+/// aggregates + HAVING + ORDER BY + projection. Only the naive oracle
+/// takes this path; the executor groups straight off the selection
+/// vectors ([`ColRelation::group_by`]) and joins it at [`grouped_tail`].
 fn execute_grouped(q: &Query, input: Relation, kernels: &TailKernels) -> Result<Relation> {
-    let plan = plan_grouping(q, &input)?;
+    let plan = plan_grouping(q, &input.columns)?;
     let grouped = (kernels.group)(&input, &plan.group_cols, &plan.specs)?;
     grouped_tail(q, grouped, &plan, kernels)
 }
 
 /// The post-aggregation tail shared by [`execute_grouped`] and the
-/// executor's vectorized group-scan fast path: HAVING, projection, ORDER
-/// BY, DISTINCT, LIMIT/OFFSET over the grouped relation.
+/// executor's columnar grouped path: HAVING, projection, ORDER BY,
+/// DISTINCT, LIMIT/OFFSET over the (small, materialized) grouped
+/// relation.
 fn grouped_tail(
     q: &Query,
     grouped: Relation,

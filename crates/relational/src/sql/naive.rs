@@ -47,11 +47,11 @@ pub fn execute_query_naive(db: &Database, q: &Query) -> Result<Relation> {
 
     // Apply every predicate (JOIN..ON and WHERE) post hoc.
     for j in &q.joins {
-        let e = super::executor::resolve_row_expr(&j.on, &current)?;
+        let e = super::executor::resolve_row_expr(&j.on, &current.columns)?;
         current = current.select(&e)?;
     }
     if let Some(w) = &q.where_clause {
-        let e = super::executor::resolve_row_expr(w, &current)?;
+        let e = super::executor::resolve_row_expr(w, &current.columns)?;
         current = current.select(&e)?;
     }
 

@@ -22,6 +22,12 @@ use std::collections::HashMap;
 /// interchange format between the columnar store and row-oriented layers.
 pub type Row = Vec<Value>;
 
+/// Hard cap on rows per table: row ids are `u32` throughout the
+/// selection-vector pipeline ([`crate::scan::filter_indices`],
+/// [`crate::colrel::ColRelation`]), so a table may never outgrow the id
+/// space. Inserts past the cap fail with a constraint error.
+pub const MAX_ROWS: usize = u32::MAX as usize;
+
 /// A packed null bitmap (one bit per row).
 #[derive(Debug, Clone, Default)]
 pub struct NullBitmap {
@@ -309,8 +315,15 @@ impl Table {
         Some(self.pk_cols.iter().map(|&i| row[i]).collect())
     }
 
-    /// Validates a row against arity, type and nullability constraints.
+    /// Validates a row against arity, type and nullability constraints,
+    /// and enforces the [`MAX_ROWS`] row-id cap.
     fn validate_row(&self, row: &[Value]) -> Result<()> {
+        if self.len >= MAX_ROWS {
+            return Err(Error::Constraint(format!(
+                "table `{}` is full: row ids are u32, so tables cap at {MAX_ROWS} rows",
+                self.schema.name
+            )));
+        }
         if row.len() != self.schema.arity() {
             return Err(Error::Constraint(format!(
                 "table `{}` expects {} values, got {}",

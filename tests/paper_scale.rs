@@ -4,6 +4,10 @@
 //! paper-scale job); debug builds keep it ignored because the unoptimized
 //! pipeline takes tens of seconds there (`cargo test --release -- --ignored`
 //! still forces it in debug).
+//!
+//! `ETABLE_SCALE` overrides the paper count (the nightly `deep-verify`
+//! workflow runs this at 76,000 papers); the structural assertions scale
+//! with the configured size.
 
 use etable_repro::core::pattern::{FilterAtom, NodeFilter};
 use etable_repro::core::session::Session;
@@ -17,15 +21,19 @@ use etable_repro::tgm::{translate, TranslateOptions};
     ignore = "paper-scale run (38k papers) is release-only; debug builds skip it"
 )]
 fn paper_scale_pipeline() {
-    let cfg = GenConfig::paper_scale();
+    let cfg = GenConfig::paper_scale()
+        .with_scale_from_env()
+        .expect("valid ETABLE_SCALE");
     let db = generate(&cfg);
-    assert_eq!(db.table("Papers").unwrap().len(), 38_000);
+    assert_eq!(db.table("Papers").unwrap().len(), cfg.papers);
     db.check_integrity().unwrap();
 
     let tgdb = translate(&db, &TranslateOptions::default()).unwrap();
-    // Every entity row becomes a node; link rows become edges.
-    assert!(tgdb.instances.node_count() > 60_000);
-    assert!(tgdb.instances.edge_count() > 200_000);
+    // Every entity row becomes a node; link rows become edges. The
+    // thresholds are the 38k run's (>60k nodes, >200k edges) expressed as
+    // per-paper ratios so the test holds at any ETABLE_SCALE.
+    assert!(tgdb.instances.node_count() > cfg.papers * 8 / 5);
+    assert!(tgdb.instances.edge_count() > cfg.papers * 5);
 
     // The Figure 1 workload at full scale.
     let (papers, _) = tgdb.schema.node_type_by_name("Papers").unwrap();
@@ -45,7 +53,13 @@ fn paper_scale_pipeline() {
         .unwrap();
     s.pivot("Papers").unwrap();
     let t = s.etable().unwrap();
-    assert!(t.len() > 100, "only {} SIGMOD 'user' papers", t.len());
+    // ~1 in 300 papers is a SIGMOD 'user' paper (>126 at the 38k default).
+    assert!(
+        t.len() > cfg.papers / 300,
+        "only {} SIGMOD 'user' papers at scale {}",
+        t.len(),
+        cfg.papers
+    );
     // Interactive latency: re-execution from cache is instant; even the
     // cold path must stay comfortably interactive.
     let start = std::time::Instant::now();

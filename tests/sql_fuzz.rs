@@ -2,11 +2,15 @@
 //!
 //! Each case builds a fresh set of small random tables (random sizes,
 //! NULL-riddled columns, text interned in adversarial order) and a random
-//! supported SELECT — joins (comma and `JOIN..ON` syntax), WHERE menus,
-//! GROUP BY + HAVING, aggregates including `COUNT(*)`/`AVG`/`MIN`/`MAX` on
-//! text, ORDER BY with ties, LIMIT/OFFSET, and DISTINCT — then executes it
-//! with the optimizing planner and the naive cross-product oracle
-//! (`sql::naive`). Results must agree as **bags** always, and as exact
+//! supported SELECT — joins (comma and `JOIN..ON` syntax, int- and
+//! text-keyed, 3-table chains, disconnected cross products; join shapes
+//! are weighted heavily so the executor's columnar selection-vector join
+//! kernels are load-bearing here), WHERE menus, GROUP BY + HAVING,
+//! aggregates including `COUNT(*)`/`AVG`/`MIN`/`MAX` on text, ORDER BY
+//! with ties, LIMIT/OFFSET, and DISTINCT — then executes it with the
+//! optimizing planner and the naive cross-product oracle (`sql::naive`),
+//! whose row-at-a-time joins and tail kernels are independent of every
+//! columnar kernel. Results must agree as **bags** always, and as exact
 //! **sequences** whenever the generated ORDER BY is total (covers every
 //! output column; LIMIT/OFFSET are only generated in that case, so both
 //! engines must pick the same page). When ORDER BY is partial the planner's
@@ -115,18 +119,25 @@ struct GenQuery {
 }
 
 fn gen_query(rng: &mut StdRng) -> GenQuery {
-    // FROM shape.
-    let shape = rng.gen_range(0..5);
+    // FROM shape. Join-bearing shapes dominate the distribution so the
+    // columnar join path (selection-vector build/probe kernels) is
+    // load-bearing in the differential suite: a third of all cases are
+    // 3-table joins, plus a text-keyed equi-join (interned-symbol keys
+    // with NULLs on both sides) and a disconnected FROM pair that forces
+    // the cross-product kernel.
+    let shape = rng.gen_range(0..9);
     let (from, join_preds): (&str, Vec<&str>) = match shape {
         0 => ("s", vec![]),
         1 => ("t", vec![]),
         2 => ("s, t", vec!["s.id = t.s_id"]),
         3 => ("s JOIN t ON s.id = t.s_id", vec![]),
+        4 => ("s, u", vec![]),                // no edge: cross product
+        5 => ("s, t", vec!["s.txt = t.lbl"]), // text keys, NULLs never match
         _ => ("s, t, u", vec!["s.id = t.s_id", "t.w = u.id"]),
     };
     let has_s = shape != 1;
-    let has_t = shape != 0;
-    let has_u = shape == 4;
+    let has_t = shape == 1 || shape == 2 || shape == 3 || shape == 5 || shape >= 6;
+    let has_u = shape == 4 || shape >= 6;
 
     // WHERE menu.
     let mut preds: Vec<String> = join_preds.iter().map(|p| p.to_string()).collect();
@@ -421,6 +432,9 @@ fn fuzzer_grammar_smoke() {
     let mut seen_grouped = false;
     let mut seen_total_order = false;
     let mut seen_limit = false;
+    let mut three_way = 0usize;
+    let mut seen_text_join = false;
+    let mut seen_cross = false;
     for seed in 0..200u64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let _db = random_db(&mut rng);
@@ -428,6 +442,9 @@ fn fuzzer_grammar_smoke() {
         seen_grouped |= gen.sql.contains("GROUP BY");
         seen_total_order |= gen.order_total;
         seen_limit |= gen.sql.contains("LIMIT");
+        three_way += gen.sql.contains("FROM s, t, u") as usize;
+        seen_text_join |= gen.sql.contains("s.txt = t.lbl");
+        seen_cross |= gen.sql.contains("FROM s, u");
         assert!(
             parse_statement(&gen.sql).is_ok(),
             "generated SQL must parse: {}",
@@ -435,4 +452,8 @@ fn fuzzer_grammar_smoke() {
         );
     }
     assert!(seen_grouped && seen_total_order && seen_limit);
+    assert!(seen_text_join && seen_cross);
+    // 3-table joins must be load-bearing, not incidental: a third of the
+    // grammar's FROM shapes, so ~50+ of 200 cases.
+    assert!(three_way >= 40, "only {three_way}/200 3-table join cases");
 }
