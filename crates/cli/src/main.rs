@@ -15,6 +15,8 @@
 //! different world). Commands also stream from stdin, so the binary works
 //! in pipes: `echo -e "open Papers\nshow-table 3" | etable`.
 
+#![forbid(unsafe_code)]
+
 use etable_cli::engine::Engine;
 use etable_datagen::{generate, GenConfig};
 use etable_tgm::{translate, TranslateOptions};

@@ -1,0 +1,388 @@
+//! In-repo source hygiene lint for the etable workspace.
+//!
+//! This is a deliberately line-oriented checker with zero dependencies —
+//! no syn, no regex, no proc-macro parsing — so it builds instantly,
+//! works offline, and its rules are transparent enough to audit by
+//! reading this one file. It enforces three workspace conventions that
+//! `rustc`/`clippy` cannot express per-repo:
+//!
+//! 1. **Forbid attribute** — every crate root (`src/lib.rs`,
+//!    `src/main.rs`) must carry `#![forbid(unsafe_code)]` in the file
+//!    itself, so the guarantee survives even if a crate drops
+//!    `[lints] workspace = true` from its manifest.
+//! 2. **Panic budget** — library code (not binaries, not test regions)
+//!    may not call the panic family (`unwrap`, `expect`, `panic!`,
+//!    `unreachable!`, `todo!`, `unimplemented!`) beyond a per-file
+//!    allowlisted budget. New panics in un-allowlisted files are
+//!    blocking; shrinking a file below its budget is always fine.
+//! 3. **Env-var discipline** — `std::env::set_var` may not appear in the
+//!    `#[cfg(test)]` region of library sources. Unit tests in one crate
+//!    share a process; mutating the environment there races with other
+//!    tests (and is UB-adjacent on glibc). Integration tests under
+//!    `tests/` own their process and are exempt, as is non-test code.
+//!
+//! The "test region" heuristic is everything at and after the first
+//! `#[cfg(test)]` line — exact for this codebase's convention of a
+//! single trailing test module per file, and conservative in the right
+//! direction (a mid-file test module exempts too much from the panic
+//! rule but never flags clean code).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The panic-family call patterns the budget rule counts. Built with
+/// `concat!` so this file's own source never contains the patterns it
+/// searches for (the lint lints itself).
+const PANIC_PATTERNS: [&str; 6] = [
+    concat!(".unw", "rap()"),
+    concat!(".exp", "ect("),
+    concat!("pan", "ic!("),
+    concat!("unreach", "able!("),
+    concat!("to", "do!("),
+    concat!("unimple", "mented!("),
+];
+
+/// The `set_var` patterns the env-discipline rule searches for.
+const SET_VAR_PATTERN: &str = concat!("env::set", "_var");
+
+/// The attribute every crate root must carry.
+const FORBID_ATTR: &str = "#![forbid(unsafe_code)]";
+
+/// Per-file panic budgets for pre-existing library code, counted with
+/// exactly the logic in [`count_panics`]. A file not listed here has a
+/// budget of zero. Keep this list sorted by path.
+const PANIC_BUDGET: [(&str, usize); 21] = [
+    ("crates/bench/src/lib.rs", 3),
+    ("crates/compat/criterion/src/lib.rs", 5),
+    ("crates/compat/proptest/src/lib.rs", 1),
+    ("crates/datagen/src/dump.rs", 3),
+    ("crates/datagen/src/generator.rs", 7),
+    ("crates/datagen/src/schema.rs", 7),
+    ("crates/datagen/src/tasks.rs", 1),
+    ("crates/etable/src/pattern.rs", 1),
+    ("crates/etable/src/setops.rs", 1),
+    ("crates/etable/src/testutil.rs", 10),
+    ("crates/relational/src/algebra.rs", 3),
+    ("crates/relational/src/database.rs", 2),
+    ("crates/relational/src/intern.rs", 11),
+    ("crates/relational/src/scan.rs", 1),
+    ("crates/relational/src/table.rs", 3),
+    ("crates/study/src/participant.rs", 1),
+    ("crates/study/src/runner.rs", 1),
+    ("crates/study/src/scripts.rs", 11),
+    ("crates/tgm/src/ids.rs", 1),
+    ("crates/tgm/src/translate.rs", 10),
+    ("src/lib.rs", 1),
+];
+
+/// One rule violation at one location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line, or 0 for whole-file findings (budget, missing attr).
+    pub line: usize,
+    /// Short rule identifier: `forbid-attr`, `panic-budget`, `set-var`.
+    pub rule: &'static str,
+    /// Human-readable description of what tripped.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.file, self.rule, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.file, self.line, self.rule, self.message
+            )
+        }
+    }
+}
+
+/// True when the path names a crate root that must carry the forbid
+/// attribute.
+fn is_crate_root(rel: &str) -> bool {
+    rel.ends_with("src/lib.rs") || rel.ends_with("src/main.rs")
+}
+
+/// True when the path is binary code, exempt from the panic budget
+/// (CLI entry points and bench drivers may panic on startup).
+fn is_binary(rel: &str) -> bool {
+    rel.contains("/src/bin/") || rel.ends_with("src/main.rs")
+}
+
+/// The allowlisted panic budget for a file (zero when unlisted).
+fn budget_for(rel: &str) -> usize {
+    PANIC_BUDGET
+        .iter()
+        .find(|(p, _)| *p == rel)
+        .map(|&(_, n)| n)
+        .unwrap_or(0)
+}
+
+/// Counts panic-family calls in the non-test, non-comment region of a
+/// source file. This is the budget rule's exact metric — keep it in sync
+/// with the allowlist comment above.
+pub fn count_panics(content: &str) -> usize {
+    let mut count = 0;
+    for line in content.lines() {
+        if line.contains("#[cfg(test)]") {
+            break;
+        }
+        let s = line.trim_start();
+        if s.starts_with("//") {
+            continue;
+        }
+        for pat in PANIC_PATTERNS {
+            count += s.matches(pat).count();
+        }
+    }
+    count
+}
+
+/// Lints one source file. `rel` is the workspace-relative path (forward
+/// slashes); `content` is the file's text.
+pub fn check_file(rel: &str, content: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    // Rule 1: crate roots must carry the forbid attribute verbatim.
+    if is_crate_root(rel) && !content.lines().any(|l| l.trim() == FORBID_ATTR) {
+        out.push(Violation {
+            file: rel.to_string(),
+            line: 0,
+            rule: "forbid-attr",
+            message: format!("crate root is missing `{FORBID_ATTR}`"),
+        });
+    }
+
+    // Rule 2: panic budget over the non-test region of library code.
+    if !is_binary(rel) {
+        let count = count_panics(content);
+        let budget = budget_for(rel);
+        if count > budget {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: 0,
+                rule: "panic-budget",
+                message: format!(
+                    "{count} panic-family call(s) in library code, budget is {budget} \
+                     (return Result or move the call under #[cfg(test)])"
+                ),
+            });
+        }
+    }
+
+    // Rule 3: no set_var inside #[cfg(test)] regions of library sources.
+    let mut in_test = false;
+    for (i, line) in content.lines().enumerate() {
+        if line.contains("#[cfg(test)]") {
+            in_test = true;
+        }
+        let s = line.trim_start();
+        if s.starts_with("//") {
+            continue;
+        }
+        if in_test && s.contains(SET_VAR_PATTERN) {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: i + 1,
+                rule: "set-var",
+                message: "set_var in a unit test mutates shared process state; \
+                          move the test to tests/ or thread the value explicitly"
+                    .to_string(),
+            });
+        }
+    }
+
+    out
+}
+
+/// Recursively collects `.rs` files under `dir` into `files`.
+fn collect_rs(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, files)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every library source tree in the workspace rooted at `root`:
+/// the umbrella crate's `src/` plus each `crates/**/src/` (compat shims
+/// included). `tests/`, `benches/` and `examples/` directories are out
+/// of scope by construction — only `src/` trees are walked.
+pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut src_dirs: Vec<PathBuf> = vec![root.join("src")];
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in std::fs::read_dir(&crates)? {
+            let path = entry?.path();
+            if !path.is_dir() {
+                continue;
+            }
+            if path.join("src").is_dir() {
+                crate_dirs.push(path);
+            } else {
+                // One nesting level for grouped crates (crates/compat/*).
+                for sub in std::fs::read_dir(&path)? {
+                    let sub = sub?.path();
+                    if sub.join("src").is_dir() {
+                        crate_dirs.push(sub);
+                    }
+                }
+            }
+        }
+    }
+    crate_dirs.sort();
+    src_dirs.extend(crate_dirs.into_iter().map(|d| d.join("src")));
+
+    let mut files = Vec::new();
+    for dir in src_dirs {
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+
+    let mut out = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let content = std::fs::read_to_string(&path)?;
+        out.extend(check_file(&rel, &content));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_lib_file_passes() {
+        let src = "//! docs\npub fn f() -> u32 { 1 }\n";
+        assert!(check_file("crates/foo/src/util.rs", src).is_empty());
+    }
+
+    #[test]
+    fn crate_root_requires_forbid_attr() {
+        let bad = "//! docs\npub fn f() {}\n";
+        let v = check_file("crates/foo/src/lib.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "forbid-attr");
+        let good = "//! docs\n#![forbid(unsafe_code)]\npub fn f() {}\n";
+        assert!(check_file("crates/foo/src/lib.rs", good).is_empty());
+    }
+
+    #[test]
+    fn panic_in_lib_code_is_flagged() {
+        let src = format!(
+            "pub fn f(o: Option<u32>) -> u32 {{ o{} }}\n",
+            PANIC_PATTERNS[0]
+        );
+        let v = check_file("crates/foo/src/util.rs", &src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "panic-budget");
+        assert!(v[0].message.contains("budget is 0"));
+    }
+
+    #[test]
+    fn panic_in_test_region_comment_or_binary_is_exempt() {
+        let pat = PANIC_PATTERNS[0];
+        // Test region: everything after #[cfg(test)].
+        let test_region = format!(
+            "pub fn f() {{}}\n#[cfg(test)]\nmod t {{ fn g(o: Option<u32>) -> u32 {{ o{pat} }} }}\n"
+        );
+        assert!(check_file("crates/foo/src/util.rs", &test_region).is_empty());
+        // Comment lines don't count.
+        let comment = format!("// calling {pat} here would be bad\npub fn f() {{}}\n");
+        assert!(check_file("crates/foo/src/util.rs", &comment).is_empty());
+        // Binaries are exempt from the budget entirely.
+        let bin = format!("#![forbid(unsafe_code)]\nfn main() {{ std::fs::read(\"x\"){pat}; }}\n");
+        assert!(check_file("crates/foo/src/bin/tool.rs", &bin).is_empty());
+        assert!(check_file("crates/foo/src/main.rs", &bin).is_empty());
+    }
+
+    #[test]
+    fn allowlisted_budget_is_a_ceiling() {
+        let pat = PANIC_PATTERNS[0];
+        // scan.rs has a budget of exactly 1.
+        let at_budget = format!("pub fn f(o: Option<u32>) -> u32 {{ o{pat} }}\n");
+        assert!(check_file("crates/relational/src/scan.rs", &at_budget).is_empty());
+        let over = format!("pub fn f(o: Option<u32>) -> u32 {{ o{pat} + o{pat} }}\n");
+        let v = check_file("crates/relational/src/scan.rs", &over);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("budget is 1"));
+    }
+
+    #[test]
+    fn set_var_in_unit_test_is_flagged() {
+        let sv = SET_VAR_PATTERN;
+        let bad = format!(
+            "pub fn f() {{}}\n#[cfg(test)]\nmod t {{\n    #[test]\n    fn g() {{ std::{sv}(\"K\", \"1\"); }}\n}}\n"
+        );
+        let v = check_file("crates/foo/src/util.rs", &bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "set-var");
+        assert_eq!(v[0].line, 5);
+        // Outside the test region it is allowed (bench harness setup).
+        let ok = format!("pub fn f() {{ std::{sv}(\"K\", \"1\"); }}\n");
+        assert!(check_file("crates/foo/src/util.rs", &ok).is_empty());
+    }
+
+    #[test]
+    fn seeded_workspace_violation_is_caught() {
+        // Build a miniature workspace in a temp dir with one dirty crate,
+        // and check the walker finds it end to end.
+        let root = std::env::temp_dir().join(format!("etable-lint-seed-{}", std::process::id()));
+        let src = root.join("crates").join("dirty").join("src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(
+            src.join("lib.rs"),
+            format!(
+                "pub fn f(o: Option<u32>) -> u32 {{ o{} }}\n",
+                PANIC_PATTERNS[0]
+            ),
+        )
+        .unwrap();
+        let violations = check_workspace(&root).unwrap();
+        std::fs::remove_dir_all(&root).unwrap();
+        let rules: Vec<&str> = violations.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"forbid-attr"), "{violations:?}");
+        assert!(rules.contains(&"panic-budget"), "{violations:?}");
+    }
+
+    #[test]
+    fn workspace_is_clean() {
+        // The real tree must pass its own lint; this makes tier-1 tests
+        // enforce the rules even where CI is not running.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let violations = check_workspace(root).expect("walk workspace");
+        assert!(
+            violations.is_empty(),
+            "workspace lint violations:\n{}",
+            violations
+                .iter()
+                .map(|v| format!("  {v}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! `etable-lint` — runs the workspace source-hygiene lint and exits
+//! non-zero on any violation. Used as a blocking CI step:
+//!
+//! ```text
+//! cargo run --release -p etable-lint
+//! ```
+//!
+//! An optional argument overrides the workspace root (useful for
+//! pointing the lint at a scratch tree).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+
+fn main() {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // crates/lint -> crates -> workspace root
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .parent()
+                .and_then(std::path::Path::parent)
+                .expect("lint crate lives two levels below the workspace root")
+                .to_path_buf()
+        });
+    match etable_lint::check_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("etable-lint: ok ({})", root.display());
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!("etable-lint: {} violation(s)", violations.len());
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("etable-lint: cannot walk {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    }
+}

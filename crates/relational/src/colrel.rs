@@ -103,7 +103,24 @@ pub enum Pick {
     Lit(Value),
 }
 
+/// Whether the plan-invariant validator runs: always in debug builds,
+/// opt-in through `ETABLE_VALIDATE=1` in release builds (the nightly
+/// deep-verify fuzzer sets it, so every fuzz case exercises the checks).
+fn validate_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        cfg!(debug_assertions)
+            || std::env::var("ETABLE_VALIDATE")
+                .map(|v| v == "1")
+                .unwrap_or(false)
+    })
+}
+
 impl<'a> ColRelation<'a> {
+    /// The single constructor every operator funnels through — and
+    /// therefore the plan-invariant checkpoint: logical row count within
+    /// [`crate::table::MAX_ROWS`], every source's row-id vector the same
+    /// length as the relation, and every row id in bounds for its table.
     fn from_sources(columns: Vec<RelColumn>, sources: Vec<Source<'a>>, n_rows: usize) -> Self {
         let mut col_map = Vec::with_capacity(columns.len());
         for (si, s) in sources.iter().enumerate() {
@@ -112,6 +129,36 @@ impl<'a> ColRelation<'a> {
             }
         }
         debug_assert_eq!(col_map.len(), columns.len());
+        if validate_enabled() {
+            assert!(
+                n_rows <= crate::table::MAX_ROWS,
+                "plan invariant violated: {n_rows} logical rows exceed MAX_ROWS"
+            );
+            for s in &sources {
+                match &s.row_ids {
+                    RowIds::Identity => assert!(
+                        n_rows == s.table.len(),
+                        "plan invariant violated: identity selection over {} stored rows \
+                         claims {n_rows} logical rows",
+                        s.table.len()
+                    ),
+                    RowIds::Sel(v) => {
+                        assert!(
+                            v.len() == n_rows,
+                            "plan invariant violated: selection vector of length {} for \
+                             {n_rows} logical rows",
+                            v.len()
+                        );
+                        assert!(
+                            v.iter().all(|&id| (id as usize) < s.table.len()),
+                            "plan invariant violated: selection vector row id out of bounds \
+                             ({} stored rows)",
+                            s.table.len()
+                        );
+                    }
+                }
+            }
+        }
         ColRelation {
             columns,
             col_map,
@@ -389,6 +436,15 @@ impl<'a> ColRelation<'a> {
         picks: &[Pick],
         order: Option<&[u32]>,
     ) -> Relation {
+        let validate = validate_enabled();
+        if validate {
+            assert!(
+                picks.len() == columns.len(),
+                "plan invariant violated: {} picks for {} output columns",
+                picks.len(),
+                columns.len()
+            );
+        }
         let mut rows = Vec::with_capacity(self.n_rows);
         let mut emit = |r: usize| {
             let row: Vec<Value> = picks
@@ -398,6 +454,17 @@ impl<'a> ColRelation<'a> {
                     Pick::Lit(v) => *v,
                 })
                 .collect();
+            if validate {
+                for (v, c) in row.iter().zip(&columns) {
+                    assert!(
+                        v.fits(c.data_type),
+                        "plan invariant violated: value {v} does not fit projected \
+                         column `{}` ({})",
+                        c.name,
+                        c.data_type
+                    );
+                }
+            }
             rows.push(row);
         };
         match order {
@@ -555,6 +622,42 @@ mod tests {
     fn materialize(rel: &ColRelation) -> Relation {
         let (cols, picks) = all_picks(rel);
         rel.project(cols, &picks, None)
+    }
+
+    /// The invariant validator always runs under `cfg(test)` (debug
+    /// assertions are on), so a selection vector pointing past the end
+    /// of its table must be rejected at construction, before any kernel
+    /// can read through it.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "plan invariant violated")]
+    fn validator_rejects_out_of_bounds_selection() {
+        let t = ints("t", &[Some(1), Some(2), Some(3)]);
+        let _ = ColRelation::from_sources(
+            Relation::table_columns(&t, "t"),
+            vec![Source {
+                table: &t,
+                row_ids: RowIds::Sel(vec![0, 7]), // 7 > table.len()
+            }],
+            2,
+        );
+    }
+
+    /// Length mismatch between the claimed logical row count and a
+    /// selection vector is the other corruption class the validator pins.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "plan invariant violated")]
+    fn validator_rejects_length_mismatch() {
+        let t = ints("t", &[Some(1), Some(2), Some(3)]);
+        let _ = ColRelation::from_sources(
+            Relation::table_columns(&t, "t"),
+            vec![Source {
+                table: &t,
+                row_ids: RowIds::Sel(vec![0]),
+            }],
+            2,
+        );
     }
 
     #[test]

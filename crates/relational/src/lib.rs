@@ -61,6 +61,8 @@ pub enum Error {
     Eval(String),
     /// SQL parse error.
     Parse(String),
+    /// Static semantic analysis rejection (see [`sql::analyze`]).
+    Analyze(String),
 }
 
 impl fmt::Display for Error {
@@ -72,6 +74,7 @@ impl fmt::Display for Error {
             Error::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
             Error::Eval(m) => write!(f, "evaluation error: {m}"),
             Error::Parse(m) => write!(f, "SQL parse error: {m}"),
+            Error::Analyze(m) => write!(f, "analysis error: {m}"),
         }
     }
 }

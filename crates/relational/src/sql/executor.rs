@@ -1,10 +1,15 @@
-//! SQL execution: name resolution, predicate pushdown, greedy hash-join
-//! planning, grouping, and projection.
+//! SQL execution over analyzed plans: predicate pushdown, greedy
+//! hash-join planning, grouping, and projection.
 //!
-//! The planner mirrors what a simple RDBMS does for the paper's workloads:
-//! single-table predicates are pushed below joins, equi-join conjuncts become
-//! hash joins chosen greedily from the smallest filtered relation outward,
-//! and anything else is applied as a residual filter.
+//! Every statement is first run through the static analyzer
+//! ([`super::analyze`]): name resolution, type inference and
+//! aggregate/GROUP BY validity all happen **before** execution, so the
+//! pipeline below never resolves a name — it only translates the plan's
+//! resolved [`ColumnId`]s into physical positions. The planner mirrors
+//! what a simple RDBMS does for the paper's workloads: single-table
+//! predicates are pushed below joins, equi-join edges become hash joins
+//! chosen greedily from the smallest filtered relation outward, and
+//! anything else is applied as a residual filter.
 //!
 //! Execution is columnar end to end: every base scan yields a
 //! [`ColRelation`] (a selection vector over the stored table — see
@@ -13,8 +18,12 @@
 //! materialized exactly once — by the final projection gather, or never,
 //! when a grouped tail aggregates straight off the selection vectors.
 
-use super::ast::*;
-use crate::algebra::{resolve_name, AggSpec, RelColumn, Relation, SortKey};
+use super::analyze::{
+    analyze, analyze_delete, analyze_insert, analyze_update, ColumnId, OrderTarget, TypedGrouping,
+    TypedPick, TypedPlan,
+};
+use super::ast::{Query, Statement};
+use crate::algebra::{AggSpec, RelColumn, Relation, SortKey};
 use crate::colrel::{ColRelation, Pick};
 use crate::database::Database;
 use crate::expr::Expr;
@@ -24,7 +33,9 @@ use crate::{Error, Result};
 
 /// Executes a SQL string against the database.
 ///
-/// `SELECT` returns the result relation; DDL/DML return an empty relation.
+/// `SELECT` returns the result relation; DDL/DML return an empty
+/// relation. DML statements are fully validated by the analyzer before
+/// any row is read or written.
 pub fn execute(db: &mut Database, sql: &str) -> Result<Relation> {
     match super::parser::parse_statement(sql)? {
         Statement::Select(q) => execute_query(db, &q),
@@ -72,6 +83,7 @@ pub fn execute(db: &mut Database, sql: &str) -> Result<Relation> {
             Ok(Relation::default())
         }
         Statement::Insert { table, rows } => {
+            analyze_insert(db, &table, &rows)?;
             for row in rows {
                 db.insert(&table, row)?;
             }
@@ -81,7 +93,7 @@ pub fn execute(db: &mut Database, sql: &str) -> Result<Relation> {
             table,
             where_clause,
         } => {
-            let pred = resolve_single_table(db, &table, where_clause.as_ref())?;
+            let pred = analyze_delete(db, &table, where_clause.as_ref())?;
             db.delete_where(&table, &pred)?;
             Ok(Relation::default())
         }
@@ -90,45 +102,57 @@ pub fn execute(db: &mut Database, sql: &str) -> Result<Relation> {
             sets,
             where_clause,
         } => {
-            let pred = resolve_single_table(db, &table, where_clause.as_ref())?;
+            let pred = analyze_update(db, &table, &sets, where_clause.as_ref())?;
             db.update_where(&table, &pred, &sets)?;
             Ok(Relation::default())
         }
     }
 }
 
-/// Resolves an optional WHERE clause against a single table's columns;
-/// `None` becomes an always-true predicate.
-fn resolve_single_table(
-    db: &Database,
-    table: &str,
-    where_clause: Option<&SqlExpr>,
-) -> Result<Expr> {
-    let columns = Relation::table_columns(db.table(table)?, table);
-    match where_clause {
-        Some(w) => resolve_row_expr(w, &columns),
-        None => Ok(Expr::Literal(Value::Bool(true))),
-    }
-}
-
-/// Executes a parsed SELECT query.
+/// Executes a parsed SELECT query: analyze, then run the typed plan.
 pub fn execute_query(db: &Database, q: &Query) -> Result<Relation> {
-    execute_query_traced(db, q, &mut None)
+    let plan = analyze(db, q)?;
+    execute_typed(db, &plan, &mut None)
 }
 
-/// Renders the plan the greedy optimizer chooses for a query: pushed-down
-/// filters with their selectivity, the join order with intermediate sizes,
-/// residual predicates, and the tail. Backing for the SQL `EXPLAIN`
-/// statement.
+/// Renders the analyzed plan (typed scans, join edges with key types,
+/// grouped shape, output row) followed by the trace of the greedy
+/// optimizer's decisions: pushed-down filters with their selectivity, the
+/// join order with intermediate sizes, residual predicates, and the
+/// tail. Backing for the SQL `EXPLAIN` statement.
 pub fn explain_query(db: &Database, q: &Query) -> Result<Vec<String>> {
+    let plan = analyze(db, q)?;
+    let mut lines = plan.render();
     let mut trace = Some(Vec::new());
-    execute_query_traced(db, q, &mut trace)?;
-    Ok(trace.expect("trace was installed"))
+    execute_typed(db, &plan, &mut trace)?;
+    lines.extend(trace.unwrap_or_default());
+    Ok(lines)
 }
 
-fn execute_query_traced(
+/// An internal inconsistency between a [`TypedPlan`] and the executor —
+/// never a user error; the analyzer guarantees resolvability.
+fn plan_desync() -> Error {
+    Error::Eval("internal: typed plan out of sync with executor".into())
+}
+
+/// The position of `c` in the current joined relation, whose column shape
+/// is the concatenation of the plan tables in `joined_ids` order.
+fn joined_pos(plan: &TypedPlan, joined_ids: &[usize], c: ColumnId) -> Option<usize> {
+    let mut off = 0;
+    for &t in joined_ids {
+        if t == c.table {
+            return Some(off + c.column);
+        }
+        off += plan.tables[t].columns.len();
+    }
+    None
+}
+
+/// Executes a typed plan over the columnar pipeline, optionally tracing
+/// the planner's decisions into `trace`.
+fn execute_typed(
     db: &Database,
-    q: &Query,
+    plan: &TypedPlan,
     trace: &mut Option<Vec<String>>,
 ) -> Result<Relation> {
     macro_rules! log {
@@ -138,118 +162,41 @@ fn execute_query_traced(
             }
         };
     }
-    // 1. Load base relations (FROM + JOIN tables).
-    let mut refs: Vec<&TableRef> = q.from.iter().collect();
-    refs.extend(q.joins.iter().map(|j| &j.table));
-    let mut aliases: Vec<String> = Vec::new();
-    for r in &refs {
-        let alias = r.effective_alias().to_string();
-        if aliases.contains(&alias) {
-            return Err(Error::Parse(format!("duplicate table alias `{alias}`")));
-        }
-        aliases.push(alias);
-    }
-    // Validate every table reference now; the scans themselves are built
-    // in the pushdown step as columnar selection vectors — no base table
-    // is ever cloned or materialized into rows.
-    for r in &refs {
-        db.table(&r.table)?;
-    }
-
-    // 2. Gather conjuncts from WHERE and JOIN..ON.
-    let mut conjuncts: Vec<&SqlExpr> = Vec::new();
-    if let Some(w) = &q.where_clause {
-        conjuncts.extend(w.conjuncts());
-    }
-    for j in &q.joins {
-        conjuncts.extend(j.on.conjuncts());
-    }
-
-    // Classify each conjunct by the set of relations it touches.
-    let owner_of = |name: &str| -> Option<usize> {
-        if let Some((qual, _)) = name.split_once('.') {
-            aliases.iter().position(|a| a == qual)
-        } else {
-            // Unqualified: owner is the unique relation containing the column.
-            let mut found = None;
-            for (i, r) in refs.iter().enumerate() {
-                if let Ok(t) = db.table(&r.table) {
-                    if t.schema().column_index(name).is_some() {
-                        if found.is_some() {
-                            return None; // ambiguous; resolve later, treat as residual
-                        }
-                        found = Some(i);
-                    }
-                }
-            }
-            found
-        }
-    };
-
-    let mut single: Vec<Vec<&SqlExpr>> = vec![Vec::new(); refs.len()];
-    // (rel_a, name_a, rel_b, name_b)
-    let mut edges: Vec<(usize, String, usize, String)> = Vec::new();
-    let mut residual: Vec<&SqlExpr> = Vec::new();
-    for c in conjuncts {
-        let names = c.referenced_names();
-        let owners: Vec<Option<usize>> = names.iter().map(|n| owner_of(n)).collect();
-        if owners.iter().any(Option::is_none) {
-            residual.push(c);
-            continue;
-        }
-        let mut distinct: Vec<usize> = owners.iter().map(|o| o.unwrap()).collect();
-        distinct.sort_unstable();
-        distinct.dedup();
-        match distinct.len() {
-            0 => residual.push(c), // constant predicate
-            1 => single[distinct[0]].push(c),
-            2 => {
-                // Equi-join edge? Must be `col = col` across two relations.
-                if let SqlExpr::Cmp(crate::expr::CmpOp::Eq, a, b) = c {
-                    if let (SqlExpr::Column(na), SqlExpr::Column(nb)) = (a.as_ref(), b.as_ref()) {
-                        let oa = owner_of(na).unwrap();
-                        let ob = owner_of(nb).unwrap();
-                        if oa != ob {
-                            edges.push((oa, na.clone(), ob, nb.clone()));
-                            continue;
-                        }
-                    }
-                }
-                residual.push(c);
-            }
-            _ => residual.push(c),
-        }
-    }
-
-    // 3. Build the columnar scan of every base relation, pushing
-    //    single-table predicates into the sharded parallel scan. A
-    //    filtered scan *is* the selection vector `scan::filter_indices`
-    //    returns; from here to the final projection the pipeline only
-    //    rewrites row-id vectors, so filtered-out rows are never touched
-    //    again and no intermediate row is materialized.
-    let mut relations: Vec<Option<ColRelation>> = Vec::with_capacity(refs.len());
-    for (i, preds) in single.iter().enumerate() {
-        let table = db.table(&refs[i].table)?;
-        let alias = refs[i].effective_alias();
+    // 1. Columnar scans with pushed-down predicates. A filtered scan *is*
+    //    the selection vector `scan::filter_indices` returns; from here
+    //    to the final projection the pipeline only rewrites row-id
+    //    vectors, so filtered-out rows are never touched again and no
+    //    intermediate row is materialized.
+    let mut relations: Vec<Option<ColRelation>> = Vec::with_capacity(plan.tables.len());
+    for (i, t) in plan.tables.iter().enumerate() {
+        let table = db.table(&t.name)?;
+        let preds = &plan.scans[i];
         if preds.is_empty() {
-            let rel = ColRelation::from_table(table, alias);
-            log!("scan {} ({} rows)", aliases[i], rel.len());
+            let rel = ColRelation::from_table(table, &t.alias);
+            log!("scan {} ({} rows)", t.alias, rel.len());
             relations.push(Some(rel));
             continue;
         }
-        // Resolve the predicates against the scan's column shape (no rows
-        // needed for name resolution).
-        let shape = Relation::table_columns(table, alias);
         let before = table.len();
-        let combined = combine_preds(preds, &shape)?.expect("non-empty");
-        let filtered = ColRelation::from_table_filtered(table, alias, &combined)?;
+        // Scan predicates run against the single table's own shape, so a
+        // ColumnId maps straight to its schema position.
+        let mut combined: Option<Expr> = None;
+        for p in preds {
+            let e = p.expr.to_expr(&|c: ColumnId| Some(c.column))?;
+            combined = Some(match combined {
+                Some(acc) => acc.and(e),
+                None => e,
+            });
+        }
+        let combined = combined.ok_or_else(plan_desync)?;
+        let filtered = ColRelation::from_table_filtered(table, &t.alias, &combined)?;
         log!(
             "scan {} ({} rows) pushdown [{}] -> {} rows",
-            aliases[i],
+            t.alias,
             before,
             preds
                 .iter()
-                .map(|p| p.to_string())
+                .map(|p| p.display.clone())
                 .collect::<Vec<_>>()
                 .join(" AND "),
             filtered.len()
@@ -257,63 +204,61 @@ fn execute_query_traced(
         relations.push(Some(filtered));
     }
 
-    // 4. Greedy join: start from the smallest relation; repeatedly join the
-    //    connected relation via a build/probe hash join over the key
-    //    columns, else cross the smallest remaining. Each join emits
+    // 2. Greedy join: start from the smallest relation; repeatedly join a
+    //    connected relation via a build/probe hash join over the edge's
+    //    key columns, else cross the smallest remaining. Each join emits
     //    paired (build, probe) position vectors that compose with the
     //    inputs' selections.
-    let mut remaining: Vec<usize> = (0..refs.len()).collect();
-    let start = *remaining
+    let mut remaining: Vec<usize> = (0..plan.tables.len()).collect();
+    let start = remaining
         .iter()
-        .min_by_key(|&&i| relations[i].as_ref().map(ColRelation::len).unwrap_or(0))
-        .expect("at least one table");
+        .copied()
+        .min_by_key(|&i| relations[i].as_ref().map(ColRelation::len).unwrap_or(0))
+        .ok_or_else(plan_desync)?;
     remaining.retain(|&i| i != start);
     let mut joined_ids = vec![start];
-    let mut current = relations[start].take().expect("present");
-    let mut used_edges = vec![false; edges.len()];
-    log!("start from smallest relation {}", aliases[start]);
+    let mut current = relations[start].take().ok_or_else(plan_desync)?;
+    let mut used_edges = vec![false; plan.edges.len()];
+    log!("start from smallest relation {}", plan.tables[start].alias);
 
     while !remaining.is_empty() {
         // Find an edge between the joined set and a remaining relation.
         let mut next: Option<(usize, usize)> = None; // (edge idx, other rel)
-        for (ei, (a, _, b, _)) in edges.iter().enumerate() {
+        for (ei, e) in plan.edges.iter().enumerate() {
             if used_edges[ei] {
                 continue;
             }
-            let a_in = joined_ids.contains(a);
-            let b_in = joined_ids.contains(b);
-            if a_in && remaining.contains(b) {
-                next = Some((ei, *b));
+            let a_in = joined_ids.contains(&e.left.table);
+            let b_in = joined_ids.contains(&e.right.table);
+            if a_in && remaining.contains(&e.right.table) {
+                next = Some((ei, e.right.table));
                 break;
             }
-            if b_in && remaining.contains(a) {
-                next = Some((ei, *a));
+            if b_in && remaining.contains(&e.left.table) {
+                next = Some((ei, e.left.table));
                 break;
             }
         }
         match next {
             Some((ei, other)) => {
                 used_edges[ei] = true;
-                let (ea, na, _eb, nb) = {
-                    let (a, na, b, nb) = &edges[ei];
-                    (*a, na.clone(), *b, nb.clone())
-                };
-                let other_rel = relations[other].take().expect("present");
-                // Which side name belongs to the current (joined) relation?
-                let (cur_name, other_name) = if joined_ids.contains(&ea) {
-                    (na, nb)
+                let e = &plan.edges[ei];
+                let other_rel = relations[other].take().ok_or_else(plan_desync)?;
+                // Which side belongs to the current (joined) relation?
+                let (cur_id, other_id, cur_name, other_name) = if e.right.table == other {
+                    (e.left, e.right, &e.left_name, &e.right_name)
                 } else {
-                    (nb, na)
+                    (e.right, e.left, &e.right_name, &e.left_name)
                 };
-                let lcol = current.resolve(&cur_name)?;
-                let rcol = other_rel.resolve(&other_name)?;
+                let lcol = joined_pos(plan, &joined_ids, cur_id).ok_or_else(plan_desync)?;
+                let rcol = other_id.column;
                 let right_rows = other_rel.len();
                 current = current.hash_join(&other_rel, lcol, rcol)?;
                 log!(
                     "hash join {} = {} with {} ({} rows) -> {} rows",
                     cur_name,
                     other_name,
-                    aliases[other],
+                    plan.tables[other].alias,
                     right_rows,
                     current.len()
                 );
@@ -322,16 +267,17 @@ fn execute_query_traced(
             }
             None => {
                 // Disconnected: cross product with the smallest remaining.
-                let other = *remaining
+                let other = remaining
                     .iter()
-                    .min_by_key(|&&i| relations[i].as_ref().map(ColRelation::len).unwrap_or(0))
-                    .expect("non-empty");
-                let other_rel = relations[other].take().expect("present");
+                    .copied()
+                    .min_by_key(|&i| relations[i].as_ref().map(ColRelation::len).unwrap_or(0))
+                    .ok_or_else(plan_desync)?;
+                let other_rel = relations[other].take().ok_or_else(plan_desync)?;
                 let right_rows = other_rel.len();
                 current = current.cross(&other_rel)?;
                 log!(
                     "cross product with {} ({} rows) -> {} rows",
-                    aliases[other],
+                    plan.tables[other].alias,
                     right_rows,
                     current.len()
                 );
@@ -340,107 +286,130 @@ fn execute_query_traced(
             }
         }
         // Apply any edges now internal to the joined set (multi-edge cycles).
-        for (ei, (a, na, b, nb)) in edges.iter().enumerate() {
+        for (ei, e) in plan.edges.iter().enumerate() {
             if used_edges[ei] {
                 continue;
             }
-            if joined_ids.contains(a) && joined_ids.contains(b) {
+            if joined_ids.contains(&e.left.table) && joined_ids.contains(&e.right.table) {
                 used_edges[ei] = true;
-                let la = current.resolve(na)?;
-                let lb = current.resolve(nb)?;
+                let la = joined_pos(plan, &joined_ids, e.left).ok_or_else(plan_desync)?;
+                let lb = joined_pos(plan, &joined_ids, e.right).ok_or_else(plan_desync)?;
                 current = current.select(&Expr::col(la).eq(Expr::col(lb)))?;
-                log!("cycle filter {na} = {nb} -> {} rows", current.len());
+                log!(
+                    "cycle filter {} = {} -> {} rows",
+                    e.left_name,
+                    e.right_name,
+                    current.len()
+                );
             }
         }
     }
 
-    // 5. Residual predicates (evaluated over only the columns they read).
-    for p in residual {
-        let e = resolve_row_expr(p, current.columns())?;
+    // 3. Residual predicates (evaluated over only the columns they read).
+    let jpos = |c: ColumnId| joined_pos(plan, &joined_ids, c);
+    for p in &plan.residual {
+        let e = p.expr.to_expr(&jpos)?;
         current = current.select(&e)?;
-        log!("residual filter [{p}] -> {} rows", current.len());
+        log!("residual filter [{}] -> {} rows", p.display, current.len());
     }
 
-    // 6. Grouping / aggregation / projection tail. Grouped queries
+    // 4. Grouping / aggregation / projection tail. Grouped queries
     //    aggregate straight off the selection vectors (no input row is
     //    ever materialized); plain queries sort by permutation and gather
     //    rows exactly once, in the final projection.
-    if !q.group_by.is_empty() || query_has_aggregates(q) {
-        if !q.group_by.is_empty() {
-            log!("group by {} key(s)", q.group_by.len());
+    if let Some(g) = &plan.grouping {
+        if !g.keys.is_empty() {
+            log!("group by {} key(s)", g.keys.len());
         }
-        let plan = plan_grouping(q, current.columns())?;
-        let grouped = current.group_by(&plan.group_cols, &plan.specs)?;
-        let out = grouped_tail(q, grouped, &plan, &ENGINE_KERNELS)?;
+        let group_cols = g
+            .keys
+            .iter()
+            .map(|&k| jpos(k).ok_or_else(plan_desync))
+            .collect::<Result<Vec<_>>>()?;
+        let specs = agg_specs(g, &jpos)?;
+        let grouped = current.group_by(&group_cols, &specs)?;
+        let out = grouped_tail(plan, g, grouped, &ENGINE_KERNELS)?;
         log!("output: {} rows x {} columns", out.len(), out.columns.len());
         return Ok(out);
     }
-    let out = columnar_plain_tail(q, &current)?;
+    let out = columnar_plain_tail(plan, &current, &jpos)?;
     log!("output: {} rows x {} columns", out.len(), out.columns.len());
     Ok(out)
 }
 
-/// The non-grouped query tail over the columnar pipeline: ORDER BY becomes
-/// a permutation over rank-decorated key columns, the final projection
-/// gathers each output cell once (in permuted order), and DISTINCT /
-/// OFFSET / LIMIT run on the already-final output.
-fn columnar_plain_tail(q: &Query, input: &ColRelation) -> Result<Relation> {
-    let (out_cols, picks) = plan_picks(q, input.columns())?;
-    let order = if q.order_by.is_empty() {
+/// Lowers the plan's aggregates into [`AggSpec`]s through `pos`.
+fn agg_specs(g: &TypedGrouping, pos: &impl Fn(ColumnId) -> Option<usize>) -> Result<Vec<AggSpec>> {
+    g.aggregates
+        .iter()
+        .map(|x| {
+            let input = match x.input {
+                Some(c) => Some(pos(c).ok_or_else(plan_desync)?),
+                None => None,
+            };
+            Ok(AggSpec::new(x.func, input, x.key.clone()))
+        })
+        .collect()
+}
+
+/// The non-grouped query tail over the columnar pipeline: ORDER BY
+/// becomes a permutation over rank-decorated key columns, the final
+/// projection gathers each output cell once (in permuted order), and
+/// DISTINCT / OFFSET / LIMIT run on the already-final output.
+fn columnar_plain_tail(
+    plan: &TypedPlan,
+    input: &ColRelation,
+    pos: &impl Fn(ColumnId) -> Option<usize>,
+) -> Result<Relation> {
+    let mut out_cols: Vec<RelColumn> = Vec::with_capacity(plan.output.len());
+    let mut picks: Vec<Pick> = Vec::with_capacity(plan.output.len());
+    for o in &plan.output {
+        out_cols.push(o.column.clone());
+        picks.push(match o.pick {
+            TypedPick::Input(c) => Pick::Col(pos(c).ok_or_else(plan_desync)?),
+            TypedPick::Lit(v) => Pick::Lit(v),
+            TypedPick::Group(_) => return Err(plan_desync()),
+        });
+    }
+    let order = if plan.order_by.is_empty() {
         None
     } else {
-        let keys = plain_order_keys(q, input.columns(), &out_cols, &picks)?;
+        let keys = plan
+            .order_by
+            .iter()
+            .map(|o| match o.target {
+                OrderTarget::Input(c) => Ok(SortKey {
+                    column: pos(c).ok_or_else(plan_desync)?,
+                    descending: o.descending,
+                }),
+                OrderTarget::Group(_) => Err(plan_desync()),
+            })
+            .collect::<Result<Vec<_>>>()?;
         Some(input.sort_order(&keys))
     };
     let mut out = input.project(out_cols, &picks, order.as_deref());
-    if q.distinct {
+    if plan.distinct {
         out = out.distinct();
     }
-    if q.offset > 0 {
-        out = out.offset(q.offset);
+    if plan.offset > 0 {
+        out = out.offset(plan.offset);
     }
-    if let Some(n) = q.limit {
+    if let Some(n) = plan.limit {
         out = out.limit(n);
     }
     Ok(out)
 }
 
-/// Whether the query's select list, HAVING or ORDER BY mention an
-/// aggregate (forcing the grouped tail even without GROUP BY).
-fn query_has_aggregates(q: &Query) -> bool {
-    q.items.iter().any(|it| match it {
-        SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
-        _ => false,
-    }) || q.having.as_ref().is_some_and(|h| h.contains_aggregate())
-        || q.order_by.iter().any(|o| o.expr.contains_aggregate())
-}
-
-/// ANDs a conjunct list resolved against a column shape; `None` for an
-/// empty list.
-fn combine_preds(preds: &[&SqlExpr], columns: &[RelColumn]) -> Result<Option<Expr>> {
-    let mut combined: Option<Expr> = None;
-    for p in preds {
-        let e = resolve_row_expr(p, columns)?;
-        combined = Some(match combined {
-            Some(c) => c.and(e),
-            None => e,
-        });
-    }
-    Ok(combined)
-}
-
 /// The data-movement kernels the materialized-relation query tail
 /// dispatches through.
 ///
-/// Name resolution and output shaping are shared between the optimizing
-/// executor and the naive oracle (they are *specification*, not
-/// optimization), but the kernels that actually group, sort and
-/// deduplicate rows are injected. The executor's own pipeline is columnar
-/// ([`crate::colrel`]) and only reaches these kernels for the
-/// post-aggregation tail over the (small, materialized) grouped relation;
-/// [`super::naive`] runs its whole tail through independent row-at-a-time
-/// kernels — so a bug in a vectorized kernel cannot cancel out in
-/// differential tests.
+/// The typed plan is shared between the optimizing executor and the
+/// naive oracle (it is *specification*, not optimization), but the
+/// kernels that actually group, sort and deduplicate rows are injected.
+/// The executor's own pipeline is columnar ([`crate::colrel`]) and only
+/// reaches these kernels for the post-aggregation tail over the (small,
+/// materialized) grouped relation; [`super::naive`] runs its whole tail
+/// through independent row-at-a-time kernels — so a bug in a vectorized
+/// kernel cannot cancel out in differential tests.
 pub(crate) struct TailKernels {
     pub(crate) group: fn(&Relation, &[usize], &[AggSpec]) -> Result<Relation>,
     pub(crate) sort: fn(&Relation, &[SortKey]) -> Relation,
@@ -456,163 +425,55 @@ pub(crate) const ENGINE_KERNELS: TailKernels = TailKernels {
 };
 
 /// The planner-free tail of query execution over a materialized relation
-/// and caller-supplied kernels (see [`TailKernels`]): grouping, HAVING,
+/// (the syntactic cross product of the plan's tables) and
+/// caller-supplied kernels (see [`TailKernels`]): grouping, HAVING,
 /// ORDER BY, projection, DISTINCT, LIMIT. Used by the naive oracle; the
 /// executor's columnar pipeline has its own tail.
 pub(crate) fn finish_query_with(
-    q: &Query,
+    plan: &TypedPlan,
     current: Relation,
     kernels: &TailKernels,
 ) -> Result<Relation> {
-    if !q.group_by.is_empty() || query_has_aggregates(q) {
-        execute_grouped(q, current, kernels)
+    if let Some(g) = &plan.grouping {
+        let pos = |c: ColumnId| Some(plan.flat_pos(c));
+        let group_cols: Vec<usize> = g.keys.iter().map(|&k| plan.flat_pos(k)).collect();
+        let specs = agg_specs(g, &pos)?;
+        let grouped = (kernels.group)(&current, &group_cols, &specs)?;
+        grouped_tail(plan, g, grouped, kernels)
     } else {
-        execute_plain(q, current, kernels)
+        execute_plain(plan, current, kernels)
     }
 }
 
-/// Resolves a row-context expression (no aggregates) against a column
-/// shape.
-pub(crate) fn resolve_row_expr(e: &SqlExpr, columns: &[RelColumn]) -> Result<Expr> {
-    match e {
-        SqlExpr::Column(name) => Ok(Expr::Column(resolve_name(columns, name)?)),
-        SqlExpr::Literal(v) => Ok(Expr::Literal(*v)),
-        SqlExpr::Aggregate { .. } => Err(Error::Eval(
-            "aggregate not allowed in row context (WHERE/ON)".into(),
-        )),
-        SqlExpr::Cmp(op, a, b) => Ok(Expr::Cmp(
-            *op,
-            Box::new(resolve_row_expr(a, columns)?),
-            Box::new(resolve_row_expr(b, columns)?),
-        )),
-        SqlExpr::Like(a, p) => Ok(Expr::Like(
-            Box::new(resolve_row_expr(a, columns)?),
-            p.clone(),
-        )),
-        SqlExpr::NotLike(a, p) => Ok(Expr::Not(Box::new(Expr::Like(
-            Box::new(resolve_row_expr(a, columns)?),
-            p.clone(),
-        )))),
-        SqlExpr::InList(a, l) => Ok(Expr::InList(
-            Box::new(resolve_row_expr(a, columns)?),
-            l.clone(),
-        )),
-        SqlExpr::IsNull(a) => Ok(Expr::IsNull(Box::new(resolve_row_expr(a, columns)?))),
-        SqlExpr::IsNotNull(a) => Ok(Expr::Not(Box::new(Expr::IsNull(Box::new(
-            resolve_row_expr(a, columns)?,
-        ))))),
-        SqlExpr::And(a, b) => Ok(resolve_row_expr(a, columns)?.and(resolve_row_expr(b, columns)?)),
-        SqlExpr::Or(a, b) => Ok(resolve_row_expr(a, columns)?.or(resolve_row_expr(b, columns)?)),
-        SqlExpr::Not(a) => Ok(resolve_row_expr(a, columns)?.not()),
+/// Executes the tail of a non-grouped query over a materialized
+/// relation: ORDER BY, projection, DISTINCT, LIMIT. Only the naive
+/// oracle takes this path (see [`columnar_plain_tail`] for the
+/// executor's).
+fn execute_plain(plan: &TypedPlan, input: Relation, kernels: &TailKernels) -> Result<Relation> {
+    let mut out_cols: Vec<RelColumn> = Vec::with_capacity(plan.output.len());
+    let mut picks: Vec<Pick> = Vec::with_capacity(plan.output.len());
+    for o in &plan.output {
+        out_cols.push(o.column.clone());
+        picks.push(match o.pick {
+            TypedPick::Input(c) => Pick::Col(plan.flat_pos(c)),
+            TypedPick::Lit(v) => Pick::Lit(v),
+            TypedPick::Group(_) => return Err(plan_desync()),
+        });
     }
-}
 
-/// Expands the select list of a non-grouped query against an input column
-/// shape into output columns plus one [`Pick`] per output column. Shared
-/// specification between the columnar tail and the oracle's
-/// materialized-relation tail.
-fn plan_picks(q: &Query, columns: &[RelColumn]) -> Result<(Vec<RelColumn>, Vec<Pick>)> {
-    let mut out_cols: Vec<RelColumn> = Vec::new();
-    let mut picks: Vec<Pick> = Vec::new();
-    for item in &q.items {
-        match item {
-            SelectItem::Wildcard => {
-                for (i, c) in columns.iter().enumerate() {
-                    out_cols.push(c.clone());
-                    picks.push(Pick::Col(i));
-                }
-            }
-            SelectItem::QualifiedWildcard(qual) => {
-                let mut any = false;
-                for (i, c) in columns.iter().enumerate() {
-                    if c.qualifier.as_deref() == Some(qual.as_str()) {
-                        out_cols.push(c.clone());
-                        picks.push(Pick::Col(i));
-                        any = true;
-                    }
-                }
-                if !any {
-                    return Err(Error::UnknownTable(qual.clone()));
-                }
-            }
-            SelectItem::Expr { expr, alias } => match expr {
-                SqlExpr::Column(name) => {
-                    let i = resolve_name(columns, name)?;
-                    let mut c = columns[i].clone();
-                    if let Some(a) = alias {
-                        c = RelColumn::bare(a.clone(), c.data_type);
-                    }
-                    out_cols.push(c);
-                    picks.push(Pick::Col(i));
-                }
-                SqlExpr::Literal(v) => {
-                    let ty = v.data_type().unwrap_or(crate::value::DataType::Int);
-                    out_cols.push(RelColumn::bare(
-                        alias.clone().unwrap_or_else(|| expr.to_string()),
-                        ty,
-                    ));
-                    picks.push(Pick::Lit(*v));
-                }
-                other => {
-                    return Err(Error::Eval(format!(
-                        "unsupported select expression `{other}` outside GROUP BY"
-                    )))
-                }
-            },
-        }
-    }
-    Ok((out_cols, picks))
-}
-
-/// Resolves a non-grouped query's ORDER BY keys against the input columns
-/// (output aliases that map to input columns are honored first).
-fn plain_order_keys(
-    q: &Query,
-    columns: &[RelColumn],
-    out_cols: &[RelColumn],
-    picks: &[Pick],
-) -> Result<Vec<SortKey>> {
-    q.order_by
-        .iter()
-        .map(|o| {
-            let col = match &o.expr {
-                SqlExpr::Column(name) => {
-                    // Prefer an output alias if one matches.
-                    let alias_hit = out_cols.iter().position(|c| c.matches_name(name)).and_then(
-                        |p| match picks[p] {
-                            Pick::Col(i) => Some(i),
-                            Pick::Lit(_) => None,
-                        },
-                    );
-                    match alias_hit {
-                        Some(i) => i,
-                        None => resolve_name(columns, name)?,
-                    }
-                }
-                other => {
-                    return Err(Error::Eval(format!(
-                        "unsupported ORDER BY expression `{other}`"
-                    )))
-                }
-            };
-            Ok(SortKey {
-                column: col,
-                descending: o.descending,
-            })
-        })
-        .collect()
-}
-
-/// Executes the tail of a non-grouped query over a materialized relation:
-/// ORDER BY, projection, DISTINCT, LIMIT. Only the naive oracle takes
-/// this path (see [`columnar_plain_tail`] for the executor's).
-fn execute_plain(q: &Query, input: Relation, kernels: &TailKernels) -> Result<Relation> {
-    let (out_cols, picks) = plan_picks(q, &input.columns)?;
-
-    // ORDER BY on the input relation (names may also match output aliases).
     let mut rel = input;
-    if !q.order_by.is_empty() {
-        let keys = plain_order_keys(q, &rel.columns, &out_cols, &picks)?;
+    if !plan.order_by.is_empty() {
+        let keys = plan
+            .order_by
+            .iter()
+            .map(|o| match o.target {
+                OrderTarget::Input(c) => Ok(SortKey {
+                    column: plan.flat_pos(c),
+                    descending: o.descending,
+                }),
+                OrderTarget::Group(_) => Err(plan_desync()),
+            })
+            .collect::<Result<Vec<_>>>()?;
         rel = (kernels.sort)(&rel, &keys);
     }
 
@@ -631,200 +492,58 @@ fn execute_plain(q: &Query, input: Relation, kernels: &TailKernels) -> Result<Re
         })
         .collect();
     let mut out = Relation::new(out_cols, rows);
-    if q.distinct {
+    if plan.distinct {
         out = (kernels.distinct)(&out);
     }
-    if q.offset > 0 {
-        out = out.offset(q.offset);
+    if plan.offset > 0 {
+        out = out.offset(plan.offset);
     }
-    if let Some(n) = q.limit {
+    if let Some(n) = plan.limit {
         out = out.limit(n);
     }
     Ok(out)
 }
 
-/// The resolved grouping shape of a query: key positions, deduplicated
-/// aggregate specs, and the display strings the group-context resolver
-/// maps aggregate expressions back to.
-struct GroupPlan {
-    group_cols: Vec<usize>,
-    specs: Vec<AggSpec>,
-    agg_keys: Vec<String>,
-}
-
-/// Resolves GROUP BY keys and every aggregate (select list, HAVING, ORDER
-/// BY) against an input column shape. Only the column metadata is
-/// consulted, so the plan serves both the columnar selection-vector path
-/// and the oracle's materialized-relation path.
-fn plan_grouping(q: &Query, columns: &[RelColumn]) -> Result<GroupPlan> {
-    // Resolve group keys in row context.
-    let group_cols: Vec<usize> = q
-        .group_by
-        .iter()
-        .map(|g| match g {
-            SqlExpr::Column(name) => resolve_name(columns, name),
-            other => Err(Error::Eval(format!(
-                "unsupported GROUP BY expression `{other}`"
-            ))),
-        })
-        .collect::<Result<_>>()?;
-
-    // Collect all aggregates appearing anywhere, dedup by display string.
-    let mut agg_exprs: Vec<&SqlExpr> = Vec::new();
-    let mut all_sources: Vec<&SqlExpr> = Vec::new();
-    for item in &q.items {
-        if let SelectItem::Expr { expr, .. } = item {
-            all_sources.push(expr);
-        }
-    }
-    if let Some(h) = &q.having {
-        all_sources.push(h);
-    }
-    for o in &q.order_by {
-        all_sources.push(&o.expr);
-    }
-    for s in all_sources {
-        collect_aggregates(s, &mut agg_exprs);
-    }
-    let mut agg_keys: Vec<String> = Vec::new();
-    let mut specs: Vec<AggSpec> = Vec::new();
-    for a in &agg_exprs {
-        let key = a.to_string();
-        if agg_keys.contains(&key) {
-            continue;
-        }
-        if let SqlExpr::Aggregate { func, input: arg } = a {
-            let input_col = match arg {
-                Some(e) => match e.as_ref() {
-                    SqlExpr::Column(name) => Some(resolve_name(columns, name)?),
-                    other => {
-                        return Err(Error::Eval(format!(
-                            "unsupported aggregate input `{other}`"
-                        )))
-                    }
-                },
-                None => None,
-            };
-            specs.push(AggSpec::new(*func, input_col, key.clone()));
-            agg_keys.push(key);
-        }
-    }
-    Ok(GroupPlan {
-        group_cols,
-        specs,
-        agg_keys,
-    })
-}
-
-/// Executes a grouped query over a materialized relation: GROUP BY +
-/// aggregates + HAVING + ORDER BY + projection. Only the naive oracle
-/// takes this path; the executor groups straight off the selection
-/// vectors ([`ColRelation::group_by`]) and joins it at [`grouped_tail`].
-fn execute_grouped(q: &Query, input: Relation, kernels: &TailKernels) -> Result<Relation> {
-    let plan = plan_grouping(q, &input.columns)?;
-    let grouped = (kernels.group)(&input, &plan.group_cols, &plan.specs)?;
-    grouped_tail(q, grouped, &plan, kernels)
-}
-
-/// The post-aggregation tail shared by [`execute_grouped`] and the
-/// executor's columnar grouped path: HAVING, projection, ORDER BY,
-/// DISTINCT, LIMIT/OFFSET over the (small, materialized) grouped
-/// relation.
+/// The post-aggregation tail shared by the oracle and the executor's
+/// columnar grouped path: HAVING, projection, ORDER BY, DISTINCT,
+/// LIMIT/OFFSET over the (small, materialized) grouped relation. The
+/// plan's grouped picks and sort targets are already positions into
+/// `grouped`, so this is pure data movement.
 fn grouped_tail(
-    q: &Query,
+    plan: &TypedPlan,
+    g: &TypedGrouping,
     grouped: Relation,
-    plan: &GroupPlan,
     kernels: &TailKernels,
 ) -> Result<Relation> {
-    // Grouped columns: group keys (original names) then one per agg keyed by
-    // its display string.
-    let n_keys = plan.group_cols.len();
-    let agg_keys = &plan.agg_keys;
-    let grouped_cols = grouped.columns.clone();
-
-    // Resolver in group context.
-    let resolve_group =
-        |e: &SqlExpr| -> Result<Expr> { resolve_group_expr(e, q, &grouped_cols, n_keys, agg_keys) };
-
-    // HAVING.
+    // HAVING over grouped-relation positions.
     let mut rel = grouped;
-    if let Some(h) = &q.having {
-        let e = resolve_group(h)?;
+    if let Some(h) = &g.having {
+        let e = h.to_expr(&Some)?;
         rel = rel.select(&e)?;
     }
 
     // Projection picks.
-    let mut out_cols: Vec<crate::algebra::RelColumn> = Vec::new();
-    let mut picks: Vec<usize> = Vec::new();
-    for item in &q.items {
-        match item {
-            SelectItem::Expr { expr, alias } => {
-                let e = resolve_group(expr)?;
-                let idx = match e {
-                    Expr::Column(i) => i,
-                    _ => {
-                        return Err(Error::Eval(format!(
-                            "unsupported grouped select expression `{expr}`"
-                        )))
-                    }
-                };
-                let mut c = rel.columns[idx].clone();
-                if let Some(a) = alias {
-                    c = crate::algebra::RelColumn::bare(a.clone(), c.data_type);
-                }
-                out_cols.push(c);
-                picks.push(idx);
-            }
-            SelectItem::Wildcard => {
-                for (i, c) in rel.columns.iter().enumerate().take(n_keys) {
-                    out_cols.push(c.clone());
-                    picks.push(i);
-                }
-            }
-            SelectItem::QualifiedWildcard(qual) => {
-                for (i, c) in rel.columns.iter().enumerate().take(n_keys) {
-                    if c.qualifier.as_deref() == Some(qual.as_str()) {
-                        out_cols.push(c.clone());
-                        picks.push(i);
-                    }
-                }
-            }
-        }
+    let mut out_cols: Vec<RelColumn> = Vec::with_capacity(plan.output.len());
+    let mut picks: Vec<usize> = Vec::with_capacity(plan.output.len());
+    for o in &plan.output {
+        let TypedPick::Group(i) = o.pick else {
+            return Err(plan_desync());
+        };
+        out_cols.push(o.column.clone());
+        picks.push(i);
     }
 
-    // ORDER BY in group context (aliases allowed).
-    if !q.order_by.is_empty() {
-        let keys = q
+    // ORDER BY over grouped-relation positions.
+    if !plan.order_by.is_empty() {
+        let keys = plan
             .order_by
             .iter()
-            .map(|o| {
-                let col = if let SqlExpr::Column(name) = &o.expr {
-                    let alias_hit = out_cols
-                        .iter()
-                        .position(|c| c.matches_name(name))
-                        .map(|p| picks[p]);
-                    match alias_hit {
-                        Some(i) => i,
-                        None => match resolve_group(&o.expr)? {
-                            Expr::Column(i) => i,
-                            _ => return Err(Error::Eval("bad ORDER BY".into())),
-                        },
-                    }
-                } else {
-                    match resolve_group(&o.expr)? {
-                        Expr::Column(i) => i,
-                        _ => {
-                            return Err(Error::Eval(format!(
-                                "unsupported ORDER BY expression `{}`",
-                                o.expr
-                            )))
-                        }
-                    }
-                };
-                Ok(SortKey {
-                    column: col,
+            .map(|o| match o.target {
+                OrderTarget::Group(i) => Ok(SortKey {
+                    column: i,
                     descending: o.descending,
-                })
+                }),
+                OrderTarget::Input(_) => Err(plan_desync()),
             })
             .collect::<Result<Vec<_>>>()?;
         rel = (kernels.sort)(&rel, &keys);
@@ -832,96 +551,16 @@ fn grouped_tail(
 
     let mut out = rel.project(&picks)?;
     out.columns = out_cols;
-    if q.distinct {
+    if plan.distinct {
         out = (kernels.distinct)(&out);
     }
-    if q.offset > 0 {
-        out = out.offset(q.offset);
+    if plan.offset > 0 {
+        out = out.offset(plan.offset);
     }
-    if let Some(n) = q.limit {
+    if let Some(n) = plan.limit {
         out = out.limit(n);
     }
     Ok(out)
-}
-
-fn collect_aggregates<'a>(e: &'a SqlExpr, out: &mut Vec<&'a SqlExpr>) {
-    match e {
-        SqlExpr::Aggregate { .. } => out.push(e),
-        SqlExpr::Column(_) | SqlExpr::Literal(_) => {}
-        SqlExpr::Cmp(_, a, b) | SqlExpr::And(a, b) | SqlExpr::Or(a, b) => {
-            collect_aggregates(a, out);
-            collect_aggregates(b, out);
-        }
-        SqlExpr::Like(a, _)
-        | SqlExpr::NotLike(a, _)
-        | SqlExpr::InList(a, _)
-        | SqlExpr::IsNull(a)
-        | SqlExpr::IsNotNull(a)
-        | SqlExpr::Not(a) => collect_aggregates(a, out),
-    }
-}
-
-/// Resolves an expression in group context: aggregates map to their output
-/// columns; grouping expressions map to key columns.
-fn resolve_group_expr(
-    e: &SqlExpr,
-    q: &Query,
-    grouped: &[crate::algebra::RelColumn],
-    n_keys: usize,
-    agg_keys: &[String],
-) -> Result<Expr> {
-    match e {
-        SqlExpr::Aggregate { .. } => {
-            let key = e.to_string();
-            let pos = agg_keys
-                .iter()
-                .position(|k| *k == key)
-                .ok_or_else(|| Error::Eval(format!("unplanned aggregate `{key}`")))?;
-            Ok(Expr::Column(n_keys + pos))
-        }
-        SqlExpr::Column(name) => {
-            // Must be one of the grouping keys.
-            for (i, g) in q.group_by.iter().enumerate() {
-                if let SqlExpr::Column(gname) = g {
-                    if gname == name || grouped[i].matches_name(name) {
-                        return Ok(Expr::Column(i));
-                    }
-                }
-            }
-            Err(Error::Eval(format!(
-                "column `{name}` must appear in GROUP BY or an aggregate"
-            )))
-        }
-        SqlExpr::Literal(v) => Ok(Expr::Literal(*v)),
-        SqlExpr::Cmp(op, a, b) => Ok(Expr::Cmp(
-            *op,
-            Box::new(resolve_group_expr(a, q, grouped, n_keys, agg_keys)?),
-            Box::new(resolve_group_expr(b, q, grouped, n_keys, agg_keys)?),
-        )),
-        SqlExpr::Like(a, p) => Ok(Expr::Like(
-            Box::new(resolve_group_expr(a, q, grouped, n_keys, agg_keys)?),
-            p.clone(),
-        )),
-        SqlExpr::NotLike(a, p) => Ok(Expr::Not(Box::new(Expr::Like(
-            Box::new(resolve_group_expr(a, q, grouped, n_keys, agg_keys)?),
-            p.clone(),
-        )))),
-        SqlExpr::InList(a, l) => Ok(Expr::InList(
-            Box::new(resolve_group_expr(a, q, grouped, n_keys, agg_keys)?),
-            l.clone(),
-        )),
-        SqlExpr::IsNull(a) => Ok(Expr::IsNull(Box::new(resolve_group_expr(
-            a, q, grouped, n_keys, agg_keys,
-        )?))),
-        SqlExpr::IsNotNull(a) => Ok(Expr::Not(Box::new(Expr::IsNull(Box::new(
-            resolve_group_expr(a, q, grouped, n_keys, agg_keys)?,
-        ))))),
-        SqlExpr::And(a, b) => Ok(resolve_group_expr(a, q, grouped, n_keys, agg_keys)?
-            .and(resolve_group_expr(b, q, grouped, n_keys, agg_keys)?)),
-        SqlExpr::Or(a, b) => Ok(resolve_group_expr(a, q, grouped, n_keys, agg_keys)?
-            .or(resolve_group_expr(b, q, grouped, n_keys, agg_keys)?)),
-        SqlExpr::Not(a) => Ok(resolve_group_expr(a, q, grouped, n_keys, agg_keys)?.not()),
-    }
 }
 
 #[cfg(test)]
@@ -1104,6 +743,20 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.columns.len(), 2);
+    }
+
+    #[test]
+    fn wildcard_order_is_syntactic() {
+        // `SELECT *` expands in FROM-clause order even when the planner
+        // joins in a different order (small Conferences first).
+        let mut d = db();
+        let r = execute(
+            &mut d,
+            "SELECT * FROM Papers p, Conferences c WHERE p.conference_id = c.id",
+        )
+        .unwrap();
+        assert_eq!(r.columns[0].qualified_name(), "p.id");
+        assert_eq!(r.columns[4].qualified_name(), "c.id");
     }
 
     #[test]

@@ -8,16 +8,23 @@
 //! per-group recomputation (no `group_core`, no `AggState` vectors, no
 //! dictionary-rank snapshots), sorting compares values through
 //! [`Value::total_cmp`] directly (no rank-decorated key columns), and
-//! DISTINCT is a quadratic first-occurrence scan (no hashing). Name
-//! resolution and output shaping *are* shared (they are the query's
-//! specification, not an optimization), so a differential mismatch always
+//! DISTINCT is a quadratic first-occurrence scan (no hashing). The
+//! [`TypedPlan`](super::analyze::TypedPlan) *is* shared (the analyzer's
+//! name resolution, typing and output shaping are the query's
+//! specification, not an optimization), so both engines accept and
+//! reject exactly the same statements, a differential mismatch always
 //! points at an execution-kernel bug, and a kernel bug can never cancel
-//! out by running on both sides.
+//! out by running on both sides. The oracle simply applies every typed
+//! predicate — scan pushdowns, join edges, residuals alike — as plain
+//! filters over the cross product, in syntactic column order
+//! ([`TypedPlan::flat_pos`](super::analyze::TypedPlan::flat_pos)).
 
+use super::analyze::{analyze, ColumnId};
 use super::ast::{Query, Statement};
 use super::executor::TailKernels;
 use crate::algebra::{AggFunc, AggSpec, Relation, SortKey};
 use crate::database::Database;
+use crate::expr::Expr;
 use crate::table::Row;
 use crate::value::Value;
 use crate::{Error, Result};
@@ -30,14 +37,17 @@ pub fn execute_naive(db: &Database, sql: &str) -> Result<Relation> {
     }
 }
 
-/// Executes a parsed SELECT with the naive strategy.
+/// Executes a parsed SELECT with the naive strategy: analyze into the
+/// same [`TypedPlan`] the optimizing executor consumes, then evaluate it
+/// with no planning at all.
 pub fn execute_query_naive(db: &Database, q: &Query) -> Result<Relation> {
-    // Cross product of every table in FROM + JOIN, in syntactic order.
-    let mut refs = q.from.clone();
-    refs.extend(q.joins.iter().map(|j| j.table.clone()));
+    let plan = analyze(db, q)?;
+
+    // Cross product of every table, in syntactic order — the layout
+    // `TypedPlan::flat_pos` describes.
     let mut current: Option<Relation> = None;
-    for r in &refs {
-        let rel = Relation::from_table(db.table(&r.table)?, r.effective_alias());
+    for t in &plan.tables {
+        let rel = Relation::from_table(db.table(&t.name)?, &t.alias);
         current = Some(match current {
             None => rel,
             Some(acc) => acc.cross(&rel),
@@ -45,20 +55,27 @@ pub fn execute_query_naive(db: &Database, q: &Query) -> Result<Relation> {
     }
     let mut current = current.ok_or_else(|| Error::Parse("empty FROM".into()))?;
 
-    // Apply every predicate (JOIN..ON and WHERE) post hoc.
-    for j in &q.joins {
-        let e = super::executor::resolve_row_expr(&j.on, &current.columns)?;
-        current = current.select(&e)?;
+    // Apply every typed predicate post hoc: pushed-down scan filters,
+    // join edges (as plain equality filters), residuals.
+    let pos = |c: ColumnId| Some(plan.flat_pos(c));
+    for preds in &plan.scans {
+        for p in preds {
+            current = current.select(&p.expr.to_expr(&pos)?)?;
+        }
     }
-    if let Some(w) = &q.where_clause {
-        let e = super::executor::resolve_row_expr(w, &current.columns)?;
-        current = current.select(&e)?;
+    for e in &plan.edges {
+        let l = plan.flat_pos(e.left);
+        let r = plan.flat_pos(e.right);
+        current = current.select(&Expr::col(l).eq(Expr::col(r)))?;
+    }
+    for p in &plan.residual {
+        current = current.select(&p.expr.to_expr(&pos)?)?;
     }
 
     // Run the tail (grouping, HAVING, ORDER BY, projection, DISTINCT,
     // LIMIT) on the filtered cross product, over this module's independent
     // row-at-a-time kernels.
-    super::executor::finish_query_with(q, current, &NAIVE_KERNELS)
+    super::executor::finish_query_with(&plan, current, &NAIVE_KERNELS)
 }
 
 /// The oracle's kernels: independent reimplementations of grouping,

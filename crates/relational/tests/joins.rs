@@ -195,12 +195,13 @@ fn three_table_chain_with_pushdown_and_group() {
 }
 
 #[test]
-fn join_output_columns_follow_greedy_join_order() {
-    // The planner starts from the smallest filtered relation, so the
-    // joined relation's columns are `accumulated ++ joined` in greedy join
-    // order (here: small before big, despite FROM order) — whichever side
-    // the hash join physically builds on. This was the materialized
-    // executor's contract too; the selection-vector join must keep it.
+fn wildcard_output_columns_follow_from_order() {
+    // The analyzer expands `SELECT *` in syntactic FROM order, so the
+    // output shape no longer depends on which side the greedy planner
+    // starts from (here it starts from small, despite FROM order) and
+    // both engines agree on it. Before the typed-plan pass the executor
+    // leaked its greedy join order into the wildcard expansion while the
+    // oracle expanded syntactically — a latent differential divergence.
     let db = setup(&[
         "CREATE TABLE small (id INT PRIMARY KEY, s TEXT NOT NULL)",
         "CREATE TABLE big (id INT PRIMARY KEY, small_id INT NOT NULL, v INT NOT NULL)",
@@ -217,6 +218,14 @@ fn join_output_columns_follow_greedy_join_order() {
         .iter()
         .map(|c| c.qualified_name().to_string())
         .collect();
-    assert_eq!(names, ["s.id", "s.s", "b.id", "b.small_id", "b.v"]);
+    assert_eq!(names, ["b.id", "b.small_id", "b.v", "s.id", "s.s"]);
     assert_eq!(rel.len(), 3);
+    let naive = execute_query_naive(&db, &q).unwrap();
+    let naive_names: Vec<String> = naive
+        .columns
+        .iter()
+        .map(|c| c.qualified_name().to_string())
+        .collect();
+    assert_eq!(names, naive_names);
+    assert_eq!(rel.columns.len(), 5);
 }

@@ -22,6 +22,15 @@
 //! 256 and can be raised with the `PROPTEST_CASES` environment variable,
 //! e.g. `PROPTEST_CASES=4096 cargo test --test sql_fuzz`.
 //!
+//! **Accept/reject differential**: one case in eight mutates into an
+//! ill-formed query (unknown table/column, ambiguous unqualified
+//! reference, type-mismatched comparison, LIKE on a number, non-grouped
+//! select column, HAVING without GROUP BY, nested aggregate, aggregate
+//! in WHERE, SUM over text, mistyped IN list, non-boolean predicate).
+//! Both engines must reject it with the *same* error — the shared
+//! analyzer is the specification — and no ill-formed query may execute
+//! on either side. Valid cases run exactly as before.
+//!
 //! SUM/AVG are only generated over INT columns with small values: their
 //! accumulator is exact there, so the two engines' different evaluation
 //! orders cannot produce last-ulp float divergence.
@@ -341,9 +350,102 @@ fn gen_query(rng: &mut StdRng) -> GenQuery {
     }
 }
 
+/// The number of distinct ill-formed query shapes `invalid_query` can
+/// produce.
+const INVALID_SHAPES: usize = 12;
+
+/// One ill-formed query over the fuzzer's fixed schema. Every shape
+/// parses fine — the defect is semantic, so only the analyzer can catch
+/// it. Returns the shape's name (for diagnostics) and the SQL.
+fn invalid_query(shape: usize, rng: &mut StdRng) -> (&'static str, String) {
+    match shape {
+        0 => (
+            "unknown-column",
+            format!("SELECT s.bogus FROM s WHERE s.g = {}", rng.gen_range(0..3)),
+        ),
+        1 => ("unknown-table", "SELECT nosuch.id FROM nosuch".to_string()),
+        2 => (
+            "ambiguous-column",
+            "SELECT id FROM s, t WHERE s.id = t.s_id".to_string(),
+        ),
+        3 => (
+            "cmp-type-mismatch",
+            format!("SELECT s.id FROM s WHERE s.txt > {}", rng.gen_range(0..9)),
+        ),
+        4 => (
+            "like-on-number",
+            "SELECT s.id FROM s WHERE s.num LIKE '%a%'".to_string(),
+        ),
+        5 => (
+            "non-grouped-select",
+            "SELECT s.txt, COUNT(*) AS n FROM s GROUP BY s.g".to_string(),
+        ),
+        6 => (
+            "having-without-group",
+            format!("SELECT s.id FROM s HAVING s.id > {}", rng.gen_range(0..5)),
+        ),
+        7 => (
+            "nested-aggregate",
+            "SELECT COUNT(MAX(s.num)) AS n FROM s GROUP BY s.g".to_string(),
+        ),
+        8 => (
+            "aggregate-in-where",
+            "SELECT s.id FROM s WHERE COUNT(*) > 1".to_string(),
+        ),
+        9 => (
+            "sum-over-text",
+            "SELECT SUM(s.txt) AS x FROM s GROUP BY s.g".to_string(),
+        ),
+        10 => (
+            "in-list-type-mismatch",
+            "SELECT s.id FROM s WHERE s.num IN (1, 'pear')".to_string(),
+        ),
+        _ => (
+            "non-boolean-predicate",
+            "SELECT s.id FROM s WHERE s.num".to_string(),
+        ),
+    }
+}
+
+/// Runs one ill-formed case: the query must parse, both engines must
+/// reject it, and their errors must be identical.
+fn check_invalid_case(db: &Database, rng: &mut StdRng) -> std::result::Result<(), String> {
+    let shape = rng.gen_range(0..INVALID_SHAPES);
+    let (kind, sql) = invalid_query(shape, rng);
+    let q = match parse_statement(&sql) {
+        Ok(Statement::Select(q)) => q,
+        other => {
+            return Err(format!(
+                "ill-formed case ({kind}) must still parse: {other:?}: {sql}"
+            ))
+        }
+    };
+    match (execute_query(db, &q), execute_query_naive(db, &q)) {
+        (Err(p), Err(n)) => {
+            if p == n {
+                Ok(())
+            } else {
+                Err(format!(
+                    "engines disagree on rejection of `{sql}` ({kind}): planner `{p}` vs oracle `{n}`"
+                ))
+            }
+        }
+        (p, n) => Err(format!(
+            "ill-formed query executed ({kind}) `{sql}`: planner ok={} oracle ok={}",
+            p.is_ok(),
+            n.is_ok()
+        )),
+    }
+}
+
 fn check_case(seed: u64) -> std::result::Result<(), String> {
     let mut rng = StdRng::seed_from_u64(seed);
     let db = random_db(&mut rng);
+    // One case in eight exercises the reject path instead of the value
+    // differential.
+    if rng.gen_range(0..8) == 0 {
+        return check_invalid_case(&db, &mut rng);
+    }
     let gen = gen_query(&mut rng);
     let q = match parse_statement(&gen.sql) {
         Ok(Statement::Select(q)) => q,
@@ -456,4 +558,22 @@ fn fuzzer_grammar_smoke() {
     // 3-table joins must be load-bearing, not incidental: a third of the
     // grammar's FROM shapes, so ~50+ of 200 cases.
     assert!(three_way >= 40, "only {three_way}/200 3-table join cases");
+}
+
+/// Every ill-formed shape, replayed explicitly: parses, is rejected by
+/// both engines, and with the same error.
+#[test]
+fn fuzzer_invalid_shapes_smoke() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let db = random_db(&mut rng);
+    for shape in 0..INVALID_SHAPES {
+        let (kind, sql) = invalid_query(shape, &mut rng);
+        let q = match parse_statement(&sql) {
+            Ok(Statement::Select(q)) => q,
+            other => panic!("ill-formed shape {kind} must parse: {other:?}: {sql}"),
+        };
+        let p = execute_query(&db, &q).expect_err(kind);
+        let n = execute_query_naive(&db, &q).expect_err(kind);
+        assert_eq!(p, n, "engines disagree on `{sql}` ({kind})");
+    }
 }
