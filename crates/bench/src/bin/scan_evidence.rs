@@ -1,8 +1,12 @@
 //! Multi-core scan evidence (non-gating): prints the host's available
-//! parallelism and times representative sharded scans inline
-//! (`ETABLE_SCAN_THREADS=1`) versus on worker pools, so CI logs on
-//! multi-core runners show the parallel scan path actually winning —
+//! parallelism and times representative scans, join probes, and grouped
+//! aggregations at pool size 1 versus larger pools, so CI logs on
+//! multi-core runners show the morsel-driven path actually winning —
 //! the 1-CPU dev container can only ever show the inline fallback.
+//!
+//! Pool sizes are swept in-process via `exec::pool::with_pool`, never by
+//! mutating the environment: the global pool reads `ETABLE_SCAN_THREADS`
+//! only once, and `set_var` is a data race under threads anyway.
 //!
 //! This binary is informational by design: it always exits 0, and nothing
 //! parses its output. Regression gating is the bench suite's job
@@ -11,6 +15,7 @@
 //! only visible on hosts with >1 core.
 
 use etable_datagen::{generate, GenConfig};
+use etable_relational::exec::pool::{with_pool, Pool, PoolConfig};
 use etable_relational::sql::executor::execute_query;
 use etable_relational::sql::{parse_statement, Statement};
 use std::time::Instant;
@@ -50,14 +55,21 @@ fn main() {
             "SELECT year, COUNT(*) AS n FROM Papers WHERE year >= 2005 GROUP BY year",
         ),
         (
+            "grouped_sum",
+            "SELECT year, SUM(id) AS s, COUNT(*) AS n FROM Papers GROUP BY year",
+        ),
+        (
+            "join_probe",
+            "SELECT pa.paper_id FROM Papers p, Paper_Authors pa WHERE p.id = pa.paper_id",
+        ),
+        (
             "filtered_join",
             "SELECT p.title, a.name FROM Papers p, Paper_Authors pa, Authors a \
              WHERE p.id = pa.paper_id AND pa.author_id = a.id AND p.year >= 2005",
         ),
     ];
-    // Inline first, then pools up to the host's cores. Setting the
-    // variable between sweeps is safe here: this main thread is the only
-    // one alive between scans (scan workers are scoped and joined).
+    // Pool 1 first, then pools up to the host's cores. Each sweep installs
+    // its pool for this thread only via the TLS override stack.
     let pools: Vec<usize> = [1usize, 2, 4]
         .into_iter()
         .filter(|&p| p == 1 || p <= cores)
@@ -71,14 +83,13 @@ fn main() {
     });
     for (name, sql) in queries {
         let mut line = format!("{name:<14}");
-        for p in &pools {
-            std::env::set_var("ETABLE_SCAN_THREADS", p.to_string());
-            line.push_str(&format!("{:>14.0}", median_us(&db, sql, 15)));
+        for &p in &pools {
+            let pool = Pool::new(PoolConfig::fixed(p));
+            line.push_str(&with_pool(&pool, || {
+                format!("{:>14.0}", median_us(&db, sql, 15))
+            }));
         }
         println!("{line}");
     }
-    std::env::remove_var("ETABLE_SCAN_THREADS");
-    println!(
-        "(informational only; sharded-vs-inline deltas are expected to be ~0 on 1-core hosts)"
-    );
+    println!("(informational only; pool-size deltas are expected to be ~0 on 1-core hosts)");
 }

@@ -360,80 +360,24 @@ impl GroupKey {
     }
 }
 
-/// The shared vectorized grouping kernel behind [`Relation::group_by`] and
-/// [`crate::colrel::ColRelation::group_by`] (the selection-vector path the
-/// executor's grouped queries aggregate through).
-///
-/// One pass over the input: each row's key cells are packed into a
-/// [`GroupKey`] (no per-row `Vec<Value>`), hashed into the group index,
-/// and every aggregate updates its per-group [`AggState`] vector
-/// (`states[spec][group]`). Group key cells live in one flat arena;
-/// output rows are only assembled at the end, in first-occurrence order.
-pub(crate) fn group_core<F>(
-    n_rows: usize,
-    cell: F,
+/// Whether `aggs` contains MIN/MAX — the aggregates whose running state
+/// compares through rank-decorated cells and therefore needs one
+/// [`crate::intern::RankMap`] snapshot shared across every partial table.
+pub(crate) fn aggs_need_ranks(aggs: &[AggSpec]) -> bool {
+    aggs.iter()
+        .any(|a| matches!(a.func, AggFunc::Min | AggFunc::Max))
+}
+
+/// The output columns of a grouped aggregation: the group-key columns (in
+/// `group_cols` order) followed by one column per aggregate. Takes the
+/// **original** (un-remapped) column positions, so the parallel path —
+/// which feeds [`GroupAcc`] dense remapped indexes — still derives output
+/// names and types from the real input schema.
+pub(crate) fn group_output_columns(
     in_columns: &[RelColumn],
     group_cols: &[usize],
     aggs: &[AggSpec],
-) -> Result<Relation>
-where
-    F: Fn(usize, usize) -> Value,
-{
-    // MIN/MAX compare through rank-decorated cells; snapshot the dictionary
-    // ranks once per aggregation instead of locking the arena per update.
-    let ranks = if aggs
-        .iter()
-        .any(|a| matches!(a.func, AggFunc::Min | AggFunc::Max))
-    {
-        Some(crate::intern::rank_map())
-    } else {
-        None
-    };
-    let n_keys = group_cols.len();
-    let mut index: HashMap<GroupKey, usize> = HashMap::new();
-    let mut key_data: Vec<Value> = Vec::new();
-    let mut states: Vec<Vec<AggState>> = aggs.iter().map(|_| Vec::new()).collect();
-    let mut n_groups = 0usize;
-    for r in 0..n_rows {
-        let gi = if n_keys == 0 {
-            if n_groups == 0 {
-                for (si, spec) in aggs.iter().enumerate() {
-                    states[si].push(AggState::new(spec));
-                }
-                n_groups = 1;
-            }
-            0
-        } else {
-            // Entry API: one hash per row, and a new group's key cells are
-            // copied out of the just-built key instead of re-read from the
-            // input columns.
-            match index.entry(GroupKey::read(group_cols, |c| cell(r, c))) {
-                std::collections::hash_map::Entry::Occupied(e) => *e.get(),
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    let g = n_groups;
-                    key_data.extend_from_slice(e.key().values());
-                    for (si, spec) in aggs.iter().enumerate() {
-                        states[si].push(AggState::new(spec));
-                    }
-                    n_groups += 1;
-                    e.insert(g);
-                    g
-                }
-            }
-        };
-        for (si, spec) in aggs.iter().enumerate() {
-            let v = spec.input.map(|c| cell(r, c));
-            states[si][gi].update(v.as_ref(), ranks.as_ref())?;
-        }
-    }
-    // Empty input with no grouping keys still yields a single group for
-    // aggregates, matching SQL semantics.
-    if n_groups == 0 && n_keys == 0 && !aggs.is_empty() {
-        for (si, spec) in aggs.iter().enumerate() {
-            states[si].push(AggState::new(spec));
-        }
-        n_groups = 1;
-    }
+) -> Vec<RelColumn> {
     let mut columns: Vec<RelColumn> = group_cols.iter().map(|&i| in_columns[i].clone()).collect();
     for spec in aggs {
         let ty = match spec.func {
@@ -446,20 +390,186 @@ where
         };
         columns.push(RelColumn::bare(spec.output_name.clone(), ty));
     }
-    let mut finishers: Vec<std::vec::IntoIter<AggState>> =
-        states.into_iter().map(Vec::into_iter).collect();
-    let mut rows: Vec<Row> = Vec::with_capacity(n_groups);
-    for g in 0..n_groups {
-        let mut out: Row = Vec::with_capacity(n_keys + aggs.len());
-        out.extend_from_slice(&key_data[g * n_keys..(g + 1) * n_keys]);
-        out.extend(finishers.iter_mut().map(|f| {
-            f.next()
-                .expect("one state per group per aggregate")
-                .finish()
-        }));
-        rows.push(out);
+    columns
+}
+
+/// A grouped-aggregation accumulator: the group index plus per-group
+/// [`AggState`]s, fed one row at a time.
+///
+/// This is the unit of morsel parallelism for grouped aggregation: each
+/// morsel builds its own `GroupAcc` (a *partial* table), and partials are
+/// [`merged`](GroupAcc::merge) into one accumulator **in fixed chunk
+/// order**, which preserves first-occurrence group order and makes the
+/// result independent of pool size. The sequential path ([`group_core`]) is
+/// the degenerate single-partial case of the same code.
+///
+/// Each row's key cells are packed into a [`GroupKey`] (no per-row
+/// `Vec<Value>`), hashed into the group index via the entry API (one hash
+/// per row), and every aggregate updates its per-group state vector
+/// (`states[spec][group]`). Group key cells live in one flat arena; output
+/// rows are only assembled by [`finish`](GroupAcc::finish), in
+/// first-occurrence order.
+pub(crate) struct GroupAcc {
+    group_cols: Vec<usize>,
+    aggs: Vec<AggSpec>,
+    ranks: Option<crate::intern::RankMap>,
+    index: HashMap<GroupKey, usize>,
+    key_data: Vec<Value>,
+    states: Vec<Vec<AggState>>,
+    n_groups: usize,
+}
+
+impl GroupAcc {
+    /// Creates an empty accumulator. `ranks` must be `Some` when `aggs`
+    /// contains MIN/MAX ([`aggs_need_ranks`]); every partial that will later
+    /// merge into the same accumulator must share the **same** snapshot.
+    pub(crate) fn new(
+        group_cols: &[usize],
+        aggs: &[AggSpec],
+        ranks: Option<crate::intern::RankMap>,
+    ) -> GroupAcc {
+        GroupAcc {
+            group_cols: group_cols.to_vec(),
+            aggs: aggs.to_vec(),
+            ranks,
+            index: HashMap::new(),
+            key_data: Vec::new(),
+            states: aggs.iter().map(|_| Vec::new()).collect(),
+            n_groups: 0,
+        }
     }
-    Ok(Relation::new(columns, rows))
+
+    /// Resolves (creating if new) the group index for a just-read key.
+    fn group_of(&mut self, key: GroupKey) -> usize {
+        match self.index.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let g = self.n_groups;
+                // A new group's key cells are copied out of the just-built
+                // key instead of re-read from the input columns.
+                self.key_data.extend_from_slice(e.key().values());
+                for (si, spec) in self.aggs.iter().enumerate() {
+                    self.states[si].push(AggState::new(spec));
+                }
+                self.n_groups += 1;
+                e.insert(g);
+                g
+            }
+        }
+    }
+
+    /// Ensures the single implicit group of a key-less aggregation exists.
+    fn global_group(&mut self) -> usize {
+        if self.n_groups == 0 {
+            for (si, spec) in self.aggs.iter().enumerate() {
+                self.states[si].push(AggState::new(spec));
+            }
+            self.n_groups = 1;
+        }
+        0
+    }
+
+    /// Feeds one input row; `cell` reads that row's value at a column
+    /// position (in whatever index space `group_cols`/agg inputs use).
+    pub(crate) fn update(&mut self, cell: impl Fn(usize) -> Value) -> Result<()> {
+        let gi = if self.group_cols.is_empty() {
+            self.global_group()
+        } else {
+            let key = GroupKey::read(&self.group_cols, &cell);
+            self.group_of(key)
+        };
+        for si in 0..self.aggs.len() {
+            let v = self.aggs[si].input.map(&cell);
+            self.states[si][gi].update(v.as_ref(), self.ranks.as_ref())?;
+        }
+        Ok(())
+    }
+
+    /// Folds a partial accumulator into `self`. Call in **fixed chunk
+    /// order**: a group first seen in chunk *k* keeps that position in the
+    /// output, exactly where a sequential pass would have discovered it.
+    pub(crate) fn merge(&mut self, other: GroupAcc) -> Result<()> {
+        let n_keys = self.group_cols.len();
+        let mut incoming: Vec<std::vec::IntoIter<AggState>> =
+            other.states.into_iter().map(Vec::into_iter).collect();
+        for g in 0..other.n_groups {
+            let gi = if n_keys == 0 {
+                self.global_group()
+            } else {
+                // Rebuild the packed key from the partial's key arena
+                // (same shape rule as `GroupKey::read`).
+                let key = match &other.key_data[g * n_keys..(g + 1) * n_keys] {
+                    [a] => GroupKey::One(*a),
+                    [a, b] => GroupKey::Two([*a, *b]),
+                    wide => GroupKey::Wide(wide.to_vec().into_boxed_slice()),
+                };
+                self.group_of(key)
+            };
+            for (si, it) in incoming.iter_mut().enumerate() {
+                let st = it.next().ok_or_else(|| {
+                    Error::Eval("partial aggregate table missing a group state".into())
+                })?;
+                self.states[si][gi].merge(st)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Assembles the output relation (groups in first-occurrence order).
+    /// `columns` is the output schema from [`group_output_columns`].
+    pub(crate) fn finish(mut self, columns: Vec<RelColumn>) -> Relation {
+        let n_keys = self.group_cols.len();
+        // Empty input with no grouping keys still yields a single group for
+        // aggregates, matching SQL semantics.
+        if n_groups_needs_seed(self.n_groups, n_keys, &self.aggs) {
+            self.global_group();
+        }
+        let mut finishers: Vec<std::vec::IntoIter<AggState>> =
+            self.states.into_iter().map(Vec::into_iter).collect();
+        let mut rows: Vec<Row> = Vec::with_capacity(self.n_groups);
+        for g in 0..self.n_groups {
+            let mut out: Row = Vec::with_capacity(n_keys + self.aggs.len());
+            out.extend_from_slice(&self.key_data[g * n_keys..(g + 1) * n_keys]);
+            out.extend(finishers.iter_mut().map(|f| {
+                f.next()
+                    .expect("one state per group per aggregate")
+                    .finish()
+            }));
+            rows.push(out);
+        }
+        Relation::new(columns, rows)
+    }
+}
+
+/// True when a key-less aggregation over empty input still owes its single
+/// implicit output group.
+fn n_groups_needs_seed(n_groups: usize, n_keys: usize, aggs: &[AggSpec]) -> bool {
+    n_groups == 0 && n_keys == 0 && !aggs.is_empty()
+}
+
+/// The shared sequential grouping kernel behind [`Relation::group_by`] and
+/// [`crate::colrel::ColRelation::group_by`]'s fallback path: one
+/// [`GroupAcc`] fed every row in order, then finished. The parallel path in
+/// [`crate::colrel::ColRelation::group_by`] runs the same accumulator per
+/// morsel and merges.
+pub(crate) fn group_core<F>(
+    n_rows: usize,
+    cell: F,
+    in_columns: &[RelColumn],
+    group_cols: &[usize],
+    aggs: &[AggSpec],
+) -> Result<Relation>
+where
+    F: Fn(usize, usize) -> Value,
+{
+    // MIN/MAX compare through rank-decorated cells; snapshot the dictionary
+    // ranks once per aggregation instead of locking the arena per update.
+    let ranks = aggs_need_ranks(aggs).then(crate::intern::rank_map);
+    let mut acc = GroupAcc::new(group_cols, aggs, ranks);
+    for r in 0..n_rows {
+        acc.update(|c| cell(r, c))?;
+    }
+    Ok(acc.finish(group_output_columns(in_columns, group_cols, aggs)))
 }
 
 /// One ORDER BY key.
@@ -531,11 +641,27 @@ impl AggSpec {
     }
 }
 
+/// Per-group running state of one aggregate.
+///
+/// SUM/AVG keep **integer inputs in an exact `i128` accumulator** and only
+/// float inputs in the `f64` accumulator. Integer addition is associative,
+/// so splitting a group across morsels and merging the partial states in
+/// any grouping of chunks produces bit-identical results — the property the
+/// parallel grouped-aggregation path ([`GroupAcc::merge`]) relies on.
 #[derive(Debug)]
 enum AggState {
     Count(i64),
-    Sum { sum: f64, any: bool, int_only: bool },
-    Avg { sum: f64, n: i64 },
+    Sum {
+        fsum: f64,
+        isum: i128,
+        any: bool,
+        int_only: bool,
+    },
+    Avg {
+        fsum: f64,
+        isum: i128,
+        n: i64,
+    },
     // MIN/MAX keep the running best as a rank-decorated cell so text
     // candidates compare by dictionary rank, never through the arena lock.
     Min(Option<crate::value::SortCell>),
@@ -547,11 +673,16 @@ impl AggState {
         match spec.func {
             AggFunc::Count => AggState::Count(0),
             AggFunc::Sum => AggState::Sum {
-                sum: 0.0,
+                fsum: 0.0,
+                isum: 0,
                 any: false,
                 int_only: true,
             },
-            AggFunc::Avg => AggState::Avg { sum: 0.0, n: 0 },
+            AggFunc::Avg => AggState::Avg {
+                fsum: 0.0,
+                isum: 0,
+                n: 0,
+            },
             AggFunc::Min => AggState::Min(None),
             AggFunc::Max => AggState::Max(None),
         }
@@ -567,27 +698,40 @@ impl AggState {
                     _ => {}
                 }
             }
-            AggState::Sum { sum, any, int_only } => {
+            AggState::Sum {
+                fsum,
+                isum,
+                any,
+                int_only,
+            } => {
                 if let Some(val) = v {
                     if !val.is_null() {
-                        let f = val
-                            .as_float()
-                            .ok_or_else(|| Error::Eval(format!("SUM over non-number {val}")))?;
-                        if !matches!(val, Value::Int(_)) {
-                            *int_only = false;
+                        match val {
+                            Value::Int(i) => *isum += *i as i128,
+                            _ => {
+                                let f = val.as_float().ok_or_else(|| {
+                                    Error::Eval(format!("SUM over non-number {val}"))
+                                })?;
+                                *fsum += f;
+                                *int_only = false;
+                            }
                         }
-                        *sum += f;
                         *any = true;
                     }
                 }
             }
-            AggState::Avg { sum, n } => {
+            AggState::Avg { fsum, isum, n } => {
                 if let Some(val) = v {
                     if !val.is_null() {
-                        let f = val
-                            .as_float()
-                            .ok_or_else(|| Error::Eval(format!("AVG over non-number {val}")))?;
-                        *sum += f;
+                        match val {
+                            Value::Int(i) => *isum += *i as i128,
+                            _ => {
+                                let f = val.as_float().ok_or_else(|| {
+                                    Error::Eval(format!("AVG over non-number {val}"))
+                                })?;
+                                *fsum += f;
+                            }
+                        }
                         *n += 1;
                     }
                 }
@@ -599,16 +743,7 @@ impl AggState {
                             *val,
                             ranks.expect("rank snapshot taken for MIN/MAX"),
                         );
-                        let better = match best {
-                            Some(b) => {
-                                crate::value::SortCell::total_cmp(cand, *b)
-                                    == std::cmp::Ordering::Less
-                            }
-                            None => true,
-                        };
-                        if better {
-                            *best = Some(cand);
-                        }
+                        Self::keep_best(best, cand, std::cmp::Ordering::Less);
                     }
                 }
             }
@@ -619,18 +754,85 @@ impl AggState {
                             *val,
                             ranks.expect("rank snapshot taken for MIN/MAX"),
                         );
-                        let better = match best {
-                            Some(b) => {
-                                crate::value::SortCell::total_cmp(cand, *b)
-                                    == std::cmp::Ordering::Greater
-                            }
-                            None => true,
-                        };
-                        if better {
-                            *best = Some(cand);
-                        }
+                        Self::keep_best(best, cand, std::cmp::Ordering::Greater);
                     }
                 }
+            }
+        }
+        Ok(())
+    }
+
+    /// Replaces `best` with `cand` when `cand` strictly wins (`want` is
+    /// `Less` for MIN, `Greater` for MAX). Ties keep the incumbent, so the
+    /// earlier-in-row-order candidate survives — both sequentially and when
+    /// merging partial states in chunk order.
+    fn keep_best(
+        best: &mut Option<crate::value::SortCell>,
+        cand: crate::value::SortCell,
+        want: std::cmp::Ordering,
+    ) {
+        let better = match best {
+            Some(b) => crate::value::SortCell::total_cmp(cand, *b) == want,
+            None => true,
+        };
+        if better {
+            *best = Some(cand);
+        }
+    }
+
+    /// Folds another partial state of the **same aggregate kind** into
+    /// `self`. Partial states come from per-morsel [`GroupAcc`]s and are
+    /// merged in fixed chunk order; both MIN/MAX candidates carry
+    /// [`crate::value::SortCell`]s built from the *same* rank snapshot, so
+    /// cross-partial comparisons are well-defined.
+    fn merge(&mut self, other: AggState) -> Result<()> {
+        match (self, other) {
+            (AggState::Count(n), AggState::Count(m)) => *n += m,
+            (
+                AggState::Sum {
+                    fsum,
+                    isum,
+                    any,
+                    int_only,
+                },
+                AggState::Sum {
+                    fsum: f2,
+                    isum: i2,
+                    any: a2,
+                    int_only: o2,
+                },
+            ) => {
+                *fsum += f2;
+                *isum += i2;
+                *any |= a2;
+                *int_only &= o2;
+            }
+            (
+                AggState::Avg { fsum, isum, n },
+                AggState::Avg {
+                    fsum: f2,
+                    isum: i2,
+                    n: n2,
+                },
+            ) => {
+                *fsum += f2;
+                *isum += i2;
+                *n += n2;
+            }
+            (AggState::Min(best), AggState::Min(cand)) => {
+                if let Some(c) = cand {
+                    Self::keep_best(best, c, std::cmp::Ordering::Less);
+                }
+            }
+            (AggState::Max(best), AggState::Max(cand)) => {
+                if let Some(c) = cand {
+                    Self::keep_best(best, c, std::cmp::Ordering::Greater);
+                }
+            }
+            _ => {
+                return Err(Error::Eval(
+                    "aggregate state kind mismatch while merging partials".into(),
+                ))
             }
         }
         Ok(())
@@ -639,20 +841,25 @@ impl AggState {
     fn finish(self) -> Value {
         match self {
             AggState::Count(n) => Value::Int(n),
-            AggState::Sum { sum, any, int_only } => {
+            AggState::Sum {
+                fsum,
+                isum,
+                any,
+                int_only,
+            } => {
                 if !any {
                     Value::Null
                 } else if int_only {
-                    Value::Int(sum as i64)
+                    Value::Int(clamp_i128(isum))
                 } else {
-                    Value::Float(sum)
+                    Value::Float(isum as f64 + fsum)
                 }
             }
-            AggState::Avg { sum, n } => {
+            AggState::Avg { fsum, isum, n } => {
                 if n == 0 {
                     Value::Null
                 } else {
-                    Value::Float(sum / n as f64)
+                    Value::Float((isum as f64 + fsum) / n as f64)
                 }
             }
             AggState::Min(v) | AggState::Max(v) => {
@@ -660,6 +867,13 @@ impl AggState {
             }
         }
     }
+}
+
+/// Saturates an exact `i128` integer sum into the engine's `i64` value
+/// domain (mirrors the saturating `f64 -> i64` cast the old float-based
+/// accumulator performed at the same magnitudes).
+fn clamp_i128(v: i128) -> i64 {
+    i64::try_from(v).unwrap_or(if v < 0 { i64::MIN } else { i64::MAX })
 }
 
 #[cfg(test)]
@@ -784,5 +998,141 @@ mod tests {
         let a = rel(&["a"], vec![vec![1.into()], vec![2.into()]]);
         let b = rel(&["b"], vec![vec![3.into()], vec![4.into()], vec![5.into()]]);
         assert_eq!(a.cross(&b).len(), 6);
+    }
+
+    /// Splits `values` at `split` into two partial states, merges them,
+    /// and returns (sequential result, merged result).
+    fn seq_vs_merged(spec: &AggSpec, values: &[Value], split: usize) -> (Value, Value) {
+        let ranks = Some(crate::intern::rank_map());
+        let mut whole = AggState::new(spec);
+        for v in values {
+            whole.update(Some(v), ranks.as_ref()).unwrap();
+        }
+        let mut lo = AggState::new(spec);
+        for v in &values[..split] {
+            lo.update(Some(v), ranks.as_ref()).unwrap();
+        }
+        let mut hi = AggState::new(spec);
+        for v in &values[split..] {
+            hi.update(Some(v), ranks.as_ref()).unwrap();
+        }
+        lo.merge(hi).unwrap();
+        (whole.finish(), lo.finish())
+    }
+
+    /// Every aggregate kind, every input flavour it can merge exactly
+    /// over, every split point (including empty partials on either side):
+    /// merged partials must equal one sequential pass bit-for-bit.
+    #[test]
+    fn agg_state_merge_matches_sequential_per_kind() {
+        let ints: Vec<Value> = [3i64, 1, 4, 1, 5, 9, 2, 6]
+            .iter()
+            .map(|&i| Value::Int(i))
+            .collect();
+        let texts: Vec<Value> = ["algebra-mango", "algebra-apple", "algebra-pear"]
+            .iter()
+            .map(|&s| Value::text(s))
+            .collect();
+        let floats: Vec<Value> = [2.5f64, -1.25, 7.75]
+            .iter()
+            .map(|&f| Value::Float(f))
+            .collect();
+        let with_nulls: Vec<Value> = vec![Value::Int(4), Value::Null, Value::Int(6), Value::Null];
+        let all_nulls: Vec<Value> = vec![Value::Null, Value::Null];
+        let cases: Vec<(AggFunc, &Vec<Value>)> = vec![
+            (AggFunc::Count, &ints),
+            (AggFunc::Sum, &ints),
+            (AggFunc::Avg, &ints),
+            (AggFunc::Min, &ints),
+            (AggFunc::Max, &ints),
+            (AggFunc::Min, &texts),
+            (AggFunc::Max, &texts),
+            (AggFunc::Min, &floats),
+            (AggFunc::Max, &floats),
+            (AggFunc::Count, &with_nulls),
+            (AggFunc::Sum, &with_nulls),
+            (AggFunc::Avg, &with_nulls),
+            (AggFunc::Sum, &all_nulls),
+            (AggFunc::Min, &all_nulls),
+        ];
+        for (func, vals) in cases {
+            let spec = AggSpec::new(func, Some(0), "x");
+            for split in 0..=vals.len() {
+                let (want, got) = seq_vs_merged(&spec, vals, split);
+                assert_eq!(want, got, "{func:?} over {vals:?} split at {split}");
+            }
+        }
+    }
+
+    #[test]
+    fn agg_state_merge_rejects_kind_mismatch() {
+        let mut count = AggState::new(&AggSpec::count_star("n"));
+        let sum = AggState::new(&AggSpec::new(AggFunc::Sum, Some(0), "s"));
+        assert!(count.merge(sum).is_err());
+    }
+
+    /// Integer sums accumulate exactly in `i128` and saturate (never wrap)
+    /// when the total leaves the `i64` value domain.
+    #[test]
+    fn int_sum_is_exact_and_saturating() {
+        let spec = AggSpec::new(AggFunc::Sum, Some(0), "s");
+        let ranks: Option<&crate::intern::RankMap> = None;
+        let mut s = AggState::new(&spec);
+        s.update(Some(&Value::Int(i64::MAX)), ranks).unwrap();
+        s.update(Some(&Value::Int(i64::MAX)), ranks).unwrap();
+        s.update(Some(&Value::Int(1)), ranks).unwrap();
+        assert_eq!(s.finish(), Value::Int(i64::MAX));
+        let mut s = AggState::new(&spec);
+        s.update(Some(&Value::Int(i64::MIN)), ranks).unwrap();
+        s.update(Some(&Value::Int(-1)), ranks).unwrap();
+        assert_eq!(s.finish(), Value::Int(i64::MIN));
+    }
+
+    /// Merging partial group tables in chunk order preserves
+    /// first-occurrence group order, exactly as a sequential pass over the
+    /// concatenated inputs would produce.
+    #[test]
+    fn group_acc_merges_partials_in_first_occurrence_order() {
+        let specs = [AggSpec::count_star("n")];
+        let cols = [RelColumn::bare("k", DataType::Int)];
+        let feed = |keys: &[i64]| {
+            let mut acc = GroupAcc::new(&[0], &specs, None);
+            for &k in keys {
+                acc.update(|_| Value::Int(k)).unwrap();
+            }
+            acc
+        };
+        let mut acc = feed(&[7, 3]);
+        acc.merge(feed(&[5, 3, 7])).unwrap();
+        let out = acc.finish(group_output_columns(&cols, &[0], &specs));
+        assert_eq!(
+            out.rows,
+            vec![
+                vec![Value::Int(7), Value::Int(2)],
+                vec![Value::Int(3), Value::Int(2)],
+                vec![Value::Int(5), Value::Int(1)],
+            ]
+        );
+    }
+
+    /// Key-less (global) aggregation merges across empty and non-empty
+    /// partials, and an all-empty merge still yields the single implicit
+    /// group.
+    #[test]
+    fn group_acc_merges_global_and_empty_partials() {
+        let specs = [AggSpec::new(AggFunc::Sum, Some(0), "s")];
+        let cols = [RelColumn::bare("v", DataType::Int)];
+        let mut acc = GroupAcc::new(&[], &specs, None);
+        acc.merge(GroupAcc::new(&[], &specs, None)).unwrap();
+        let mut part = GroupAcc::new(&[], &specs, None);
+        part.update(|_| Value::Int(41)).unwrap();
+        part.update(|_| Value::Int(1)).unwrap();
+        acc.merge(part).unwrap();
+        let out = acc.finish(group_output_columns(&cols, &[], &specs));
+        assert_eq!(out.rows, vec![vec![Value::Int(42)]]);
+
+        let empty = GroupAcc::new(&[], &specs, None);
+        let out = empty.finish(group_output_columns(&cols, &[], &specs));
+        assert_eq!(out.rows, vec![vec![Value::Null]]);
     }
 }

@@ -11,8 +11,9 @@
 //! * a filtered scan *is* the selection vector [`scan::filter_indices`]
 //!   returns (an unfiltered scan is the identity selection, stored
 //!   implicitly),
-//! * a hash join builds its table from the build side's key column and
-//!   probes with the probe side's key column batch, emitting paired
+//! * a hash join builds its table from the build side's key column, then
+//!   probes the probe side's key column in morsels on the persistent
+//!   worker pool ([`crate::exec::pool`]), emitting paired
 //!   (build-position, probe-position) vectors that are composed into the
 //!   inputs' row-id vectors — probe keys hash straight off
 //!   [`ColumnData::Int`]/[`ColumnData::Sym`] words on the typed fast
@@ -25,8 +26,10 @@
 //! projection ([`ColRelation::project`]) gathers each output cell exactly
 //! once, straight out of the base tables' column stores. Grouped queries
 //! never materialize rows at all: [`ColRelation::group_by`] feeds the
-//! shared vectorized grouping kernel ([`crate::algebra`]'s `group_core`)
-//! through a cell accessor over the row-id vectors.
+//! shared vectorized grouping kernel ([`crate::algebra`]'s `GroupAcc`)
+//! through a cell accessor over the row-id vectors — one accumulator per
+//! morsel when the aggregates merge exactly, partials merged in chunk
+//! order.
 //!
 //! Row ids are `u32` ([`Table`]s are capped at `u32::MAX` rows, and the
 //! cardinality-growing operators error past `u32::MAX` logical rows
@@ -34,20 +37,26 @@
 //! even a single-column materialized row vector.
 
 use crate::algebra::{resolve_name, AggSpec, RelColumn, Relation, SortKey};
+use crate::exec::pool::{self, CHUNK_ROWS};
+use crate::exec::pred::CompiledPred;
 use crate::expr::Expr;
 use crate::table::{ColumnData, ColumnStore, Table};
-use crate::value::{SortCell, Value};
+use crate::value::{DataType, SortCell, Value};
 use crate::{Error, Result};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 
 /// The row-id vector of one source table. `Identity` is the unfiltered
 /// scan `0..table.len()`, kept implicit so a full-table scan allocates
-/// nothing until a join or filter actually reorders it.
+/// nothing until a join or filter actually reorders it. Selection vectors
+/// are `Arc`-shared so the morsel kernels (join probe, grouped
+/// aggregation) can hand persistent pool workers owned handles without
+/// copying the vector.
 #[derive(Debug, Clone)]
 enum RowIds {
     Identity,
-    Sel(Vec<u32>),
+    Sel(Arc<Vec<u32>>),
 }
 
 impl RowIds {
@@ -65,8 +74,10 @@ impl RowIds {
     /// selection mapped `positions[i]` to.
     fn compose(&self, positions: &[u32]) -> RowIds {
         match self {
-            RowIds::Identity => RowIds::Sel(positions.to_vec()),
-            RowIds::Sel(v) => RowIds::Sel(positions.iter().map(|&p| v[p as usize]).collect()),
+            RowIds::Identity => RowIds::Sel(Arc::new(positions.to_vec())),
+            RowIds::Sel(v) => {
+                RowIds::Sel(Arc::new(positions.iter().map(|&p| v[p as usize]).collect()))
+            }
         }
     }
 }
@@ -190,7 +201,7 @@ impl<'a> ColRelation<'a> {
             Relation::table_columns(table, alias),
             vec![Source {
                 table,
-                row_ids: RowIds::Sel(sel),
+                row_ids: RowIds::Sel(Arc::new(sel)),
             }],
             n,
         ))
@@ -258,7 +269,9 @@ impl<'a> ColRelation<'a> {
 
     /// σ — keeps logical rows satisfying `pred`, composing the surviving
     /// positions into every row-id vector. Only the columns `pred`
-    /// references are read.
+    /// references are read, and the predicate is compiled once
+    /// ([`CompiledPred`]) so LIKE/equality/IN over text columns test
+    /// dictionary bitmaps instead of re-matching strings per row.
     pub fn select(&self, pred: &Expr) -> Result<ColRelation<'a>> {
         let cols = crate::scan::pred_columns(pred);
         if let Some(&max) = cols.last() {
@@ -266,13 +279,15 @@ impl<'a> ColRelation<'a> {
                 return Err(Error::Eval(format!("predicate column {max} out of range")));
             }
         }
+        let compiled =
+            CompiledPred::compile(pred, |c| self.columns.get(c).map(|col| col.data_type));
         let mut buf: Vec<Value> = vec![Value::Null; self.columns.len()];
         let mut keep: Vec<u32> = Vec::new();
         for r in 0..self.n_rows {
             for &c in &cols {
                 buf[c] = self.cell(r, c);
             }
-            if pred.matches(&buf)? {
+            if compiled.matches(&buf)? {
                 keep.push(r as u32);
             }
         }
@@ -310,48 +325,60 @@ impl<'a> ColRelation<'a> {
         };
         let (bstore, bids) = build.col_source(build_col);
         let (pstore, pids) = probe.col_source(probe_col);
+        // Build-side closures borrow (the build pass runs on the caller);
+        // probe-side closures capture owned `Arc` handles because the probe
+        // loop is morselized onto the persistent pool workers.
         let (build_pos, probe_pos) = match (bstore.data(), pstore.data()) {
             // INT = INT: keys are the i64 column words.
-            (ColumnData::Int(bv), ColumnData::Int(pv)) => join_positions(
-                build.len(),
-                |i| {
-                    let r = bids.get(i);
-                    (!bstore.is_null(r)).then(|| bv[r])
-                },
-                probe.len(),
-                |i| {
-                    let r = pids.get(i);
-                    (!pstore.is_null(r)).then(|| pv[r])
-                },
-            ),
+            (ColumnData::Int(bv), ColumnData::Int(pv)) => {
+                let (pv, pstore, pids) = (Arc::clone(pv), pstore.clone(), pids.clone());
+                join_positions(
+                    build.len(),
+                    |i| {
+                        let r = bids.get(i);
+                        (!bstore.is_null(r)).then(|| bv[r])
+                    },
+                    probe.len(),
+                    move |i| {
+                        let r = pids.get(i);
+                        (!pstore.is_null(r)).then(|| pv[r])
+                    },
+                )?
+            }
             // TEXT = TEXT: keys are the interned u32 symbol ids (equal
             // strings hold equal ids, so id equality is string equality).
-            (ColumnData::Sym(bv), ColumnData::Sym(pv)) => join_positions(
-                build.len(),
-                |i| {
-                    let r = bids.get(i);
-                    (!bstore.is_null(r)).then(|| bv[r].id())
-                },
-                probe.len(),
-                |i| {
-                    let r = pids.get(i);
-                    (!pstore.is_null(r)).then(|| pv[r].id())
-                },
-            ),
+            (ColumnData::Sym(bv), ColumnData::Sym(pv)) => {
+                let (pv, pstore, pids) = (Arc::clone(pv), pstore.clone(), pids.clone());
+                join_positions(
+                    build.len(),
+                    |i| {
+                        let r = bids.get(i);
+                        (!bstore.is_null(r)).then(|| bv[r].id())
+                    },
+                    probe.len(),
+                    move |i| {
+                        let r = pids.get(i);
+                        (!pstore.is_null(r)).then(|| pv[r].id())
+                    },
+                )?
+            }
             // Mixed / float / bool keys: `Value` keys (hashing widens
             // integral floats so `Int(2)` matches `Float(2.0)`).
-            _ => join_positions(
-                build.len(),
-                |i| {
-                    let v = bstore.get(bids.get(i));
-                    (!v.is_null()).then_some(v)
-                },
-                probe.len(),
-                |i| {
-                    let v = pstore.get(pids.get(i));
-                    (!v.is_null()).then_some(v)
-                },
-            ),
+            _ => {
+                let (pstore, pids) = (pstore.clone(), pids.clone());
+                join_positions(
+                    build.len(),
+                    |i| {
+                        let v = bstore.get(bids.get(i));
+                        (!v.is_null()).then_some(v)
+                    },
+                    probe.len(),
+                    move |i| {
+                        let v = pstore.get(pids.get(i));
+                        (!v.is_null()).then_some(v)
+                    },
+                )?
+            }
         };
         check_cardinality(build_pos.len())?;
         Ok(if build_is_left {
@@ -385,7 +412,20 @@ impl<'a> ColRelation<'a> {
     /// row-id vectors, so grouped join queries never materialize an input
     /// row. Semantics are identical to materializing the join and calling
     /// [`Relation::group_by`](crate::algebra::Relation::group_by).
+    ///
+    /// Multi-morsel inputs aggregate in parallel: each morsel builds a
+    /// partial group table and the partials merge in fixed chunk order,
+    /// which preserves first-occurrence group order. The parallel path is
+    /// taken only when every aggregate merges *exactly* — COUNT/MIN/MAX
+    /// always, SUM/AVG only over statically-`INT` inputs (integer sums
+    /// accumulate in `i128`, so chunking cannot change the result).
+    /// Float SUM/AVG falls back to the sequential kernel rather than
+    /// risk order-dependent rounding.
     pub fn group_by(&self, group_cols: &[usize], aggs: &[AggSpec]) -> Result<Relation> {
+        let pool = pool::current();
+        if pool.threads() > 1 && self.n_rows > CHUNK_ROWS && self.aggs_merge_exactly(aggs) {
+            return self.group_by_parallel(&pool, group_cols, aggs);
+        }
         crate::algebra::group_core(
             self.n_rows,
             |r, c| self.cell(r, c),
@@ -393,6 +433,78 @@ impl<'a> ColRelation<'a> {
             group_cols,
             aggs,
         )
+    }
+
+    /// Whether every aggregate's partial states merge bit-exactly (the
+    /// precondition for the parallel grouped path): COUNT/MIN/MAX always
+    /// do; SUM/AVG only when the input column is statically `INT`.
+    fn aggs_merge_exactly(&self, aggs: &[AggSpec]) -> bool {
+        use crate::algebra::AggFunc;
+        aggs.iter().all(|a| match a.func {
+            AggFunc::Count | AggFunc::Min | AggFunc::Max => true,
+            AggFunc::Sum | AggFunc::Avg => a
+                .input
+                .and_then(|c| self.columns.get(c))
+                .is_some_and(|c| c.data_type == DataType::Int),
+        })
+    }
+
+    /// The parallel grouped-aggregation path: per-morsel partial
+    /// [`crate::algebra::GroupAcc`] tables on the worker pool, merged in
+    /// fixed chunk order. Column positions are remapped to dense indexes
+    /// into an owned vector of `Arc`-backed (store, row-id) handles so the
+    /// morsel closure is `'static`; one rank snapshot is taken up front
+    /// and shared by every partial, keeping MIN/MAX candidates comparable
+    /// across morsels.
+    fn group_by_parallel(
+        &self,
+        pool: &pool::Pool,
+        group_cols: &[usize],
+        aggs: &[AggSpec],
+    ) -> Result<Relation> {
+        let mut needed: Vec<usize> = group_cols.to_vec();
+        needed.extend(aggs.iter().filter_map(|a| a.input));
+        needed.sort_unstable();
+        needed.dedup();
+        let handles: Vec<(ColumnStore, RowIds)> = needed
+            .iter()
+            .map(|&c| {
+                let (store, ids) = self.col_source(c);
+                (store.clone(), ids.clone())
+            })
+            .collect();
+        // Every position is present in `needed` by construction; an
+        // (impossible) miss maps to an out-of-range handle index rather
+        // than panicking here.
+        let local = |c: usize| needed.binary_search(&c).unwrap_or(usize::MAX);
+        let lgroup: Vec<usize> = group_cols.iter().map(|&c| local(c)).collect();
+        let laggs: Vec<AggSpec> = aggs
+            .iter()
+            .map(|a| AggSpec::new(a.func, a.input.map(local), a.output_name.clone()))
+            .collect();
+        let ranks = crate::algebra::aggs_need_ranks(aggs).then(crate::intern::rank_map);
+        let partials = {
+            let (lgroup, laggs, ranks) = (lgroup.clone(), laggs.clone(), ranks.clone());
+            pool.run_chunks(self.n_rows, move |range| {
+                let mut acc = crate::algebra::GroupAcc::new(&lgroup, &laggs, ranks.clone());
+                for r in range {
+                    acc.update(|c| {
+                        let (store, ids) = &handles[c];
+                        store.get(ids.get(r))
+                    })?;
+                }
+                Ok(vec![acc])
+            })?
+        };
+        let mut acc = crate::algebra::GroupAcc::new(&lgroup, &laggs, ranks);
+        for partial in partials {
+            acc.merge(partial)?;
+        }
+        Ok(acc.finish(crate::algebra::group_output_columns(
+            &self.columns,
+            group_cols,
+            aggs,
+        )))
     }
 
     /// The permutation ORDER BY `keys` induces (stable: ties keep input
@@ -543,19 +655,27 @@ impl Hasher for KeyHasher {
 /// side's keys into a chained index (`head` maps a key to its latest
 /// one-based build position; `next` links each build position to the
 /// previous one holding the same key, with 0 terminating the chain), then
-/// scans the probe side's keys as a batch and emits paired
-/// (build-position, probe-position) vectors. `None` keys (NULLs) never
-/// enter the index and never probe, so NULL join keys match nothing.
+/// probes the probe side's keys in [`CHUNK_ROWS`]-sized morsels on the
+/// worker pool, emitting paired (build-position, probe-position) vectors.
+/// Each morsel's pairs are concatenated in chunk order, so the emitted
+/// pair sequence — probe order major, chain order minor — is byte-identical
+/// to a sequential probe at any pool size. `None` keys (NULLs) never enter
+/// the index and never probe, so NULL join keys match nothing.
+///
+/// The build pass stays sequential on the caller (build sides are the
+/// smaller input and the chained index is inherently serial); only the
+/// probe closure crosses threads, which is why `P` is `'static` and `B`
+/// may borrow.
 fn join_positions<K, B, P>(
     build_n: usize,
     build_key: B,
     probe_n: usize,
     probe_key: P,
-) -> (Vec<u32>, Vec<u32>)
+) -> Result<(Vec<u32>, Vec<u32>)>
 where
-    K: std::hash::Hash + Eq,
+    K: std::hash::Hash + Eq + Send + Sync + 'static,
     B: Fn(usize) -> Option<K>,
-    P: Fn(usize) -> Option<K>,
+    P: Fn(usize) -> Option<K> + Send + Sync + 'static,
 {
     let mut head: HashMap<K, u32, BuildHasherDefault<KeyHasher>> =
         HashMap::with_capacity_and_hasher(build_n, BuildHasherDefault::default());
@@ -567,19 +687,21 @@ where
             *slot = (i + 1) as u32;
         }
     }
-    let mut build_pos = Vec::new();
-    let mut probe_pos = Vec::new();
-    for p in 0..probe_n {
-        let Some(k) = probe_key(p) else { continue };
-        let Some(&h) = head.get(&k) else { continue };
-        let mut cur = h;
-        while cur != 0 {
-            build_pos.push(cur - 1);
-            probe_pos.push(p as u32);
-            cur = next[(cur - 1) as usize];
+    let (head, next) = (Arc::new(head), Arc::new(next));
+    let pairs: Vec<(u32, u32)> = pool::current().run_chunks(probe_n, move |range| {
+        let mut out = Vec::new();
+        for p in range {
+            let Some(k) = probe_key(p) else { continue };
+            let Some(&h) = head.get(&k) else { continue };
+            let mut cur = h;
+            while cur != 0 {
+                out.push((cur - 1, p as u32));
+                cur = next[(cur - 1) as usize];
+            }
         }
-    }
-    (build_pos, probe_pos)
+        Ok(out)
+    })?;
+    Ok(pairs.into_iter().unzip())
 }
 
 #[cfg(test)]
@@ -637,7 +759,7 @@ mod tests {
             Relation::table_columns(&t, "t"),
             vec![Source {
                 table: &t,
-                row_ids: RowIds::Sel(vec![0, 7]), // 7 > table.len()
+                row_ids: RowIds::Sel(Arc::new(vec![0, 7])), // 7 > table.len()
             }],
             2,
         );
@@ -654,7 +776,7 @@ mod tests {
             Relation::table_columns(&t, "t"),
             vec![Source {
                 table: &t,
-                row_ids: RowIds::Sel(vec![0]),
+                row_ids: RowIds::Sel(Arc::new(vec![0])),
             }],
             2,
         );

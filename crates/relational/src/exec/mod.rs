@@ -1,0 +1,13 @@
+//! Morsel-driven execution infrastructure shared by the columnar executor.
+//!
+//! Two pieces live here:
+//!
+//! * [`pool`] — one lazily-started persistent worker pool that serves every
+//!   data-parallel kernel (filtered scans, the hash-join probe loop, grouped
+//!   aggregation) via fixed-size per-morsel work items with a deterministic
+//!   chunk-order merge, so results are byte-identical at any pool size.
+//! * [`pred`] — dictionary-encoded predicate compilation: LIKE/equality/IN
+//!   over interned text columns evaluate once per *distinct symbol* against
+//!   the interner arena (a membership bitmap) instead of once per row.
+pub mod pool;
+pub mod pred;

@@ -308,35 +308,59 @@ impl Expr {
     }
 }
 
-/// SQL LIKE matcher with `%` (any sequence) and `_` (any single char),
-/// case-insensitive.
-///
-/// Implemented with the classic two-pointer backtracking algorithm, O(n·m)
-/// worst case but linear on patterns without `%`.
-pub fn like_match(text: &str, pattern: &str) -> bool {
-    let t: Vec<char> = text.chars().flat_map(|c| c.to_lowercase()).collect();
-    let p: Vec<char> = pattern.chars().flat_map(|c| c.to_lowercase()).collect();
-    let (mut ti, mut pi) = (0usize, 0usize);
-    let mut star: Option<(usize, usize)> = None; // (pattern pos after %, text pos)
-    while ti < t.len() {
-        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
-            ti += 1;
-            pi += 1;
-        } else if pi < p.len() && p[pi] == '%' {
-            star = Some((pi + 1, ti));
-            pi += 1;
-        } else if let Some((sp, st)) = star {
-            pi = sp;
-            ti = st + 1;
-            star = Some((sp, st + 1));
-        } else {
-            return false;
+/// A SQL LIKE pattern compiled once (lowercased into a char buffer) so one
+/// pattern can be matched against many texts without re-processing the
+/// pattern per call — the dictionary-predicate bitmap builder
+/// ([`crate::exec::pred`]) runs one `LikePattern` over the whole interner
+/// arena.
+#[derive(Debug, Clone)]
+pub struct LikePattern {
+    p: Vec<char>,
+}
+
+impl LikePattern {
+    /// Compiles `pattern` (`%` = any sequence, `_` = any single char).
+    pub fn new(pattern: &str) -> LikePattern {
+        LikePattern {
+            p: pattern.chars().flat_map(|c| c.to_lowercase()).collect(),
         }
     }
-    while pi < p.len() && p[pi] == '%' {
-        pi += 1;
+
+    /// Case-insensitive match of `text` against this pattern.
+    ///
+    /// Implemented with the classic two-pointer backtracking algorithm,
+    /// O(n·m) worst case but linear on patterns without `%`.
+    pub fn matches(&self, text: &str) -> bool {
+        let t: Vec<char> = text.chars().flat_map(|c| c.to_lowercase()).collect();
+        let p = &self.p;
+        let (mut ti, mut pi) = (0usize, 0usize);
+        let mut star: Option<(usize, usize)> = None; // (pattern pos after %, text pos)
+        while ti < t.len() {
+            if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+                ti += 1;
+                pi += 1;
+            } else if pi < p.len() && p[pi] == '%' {
+                star = Some((pi + 1, ti));
+                pi += 1;
+            } else if let Some((sp, st)) = star {
+                pi = sp;
+                ti = st + 1;
+                star = Some((sp, st + 1));
+            } else {
+                return false;
+            }
+        }
+        while pi < p.len() && p[pi] == '%' {
+            pi += 1;
+        }
+        pi == p.len()
     }
-    pi == p.len()
+}
+
+/// SQL LIKE matcher with `%` (any sequence) and `_` (any single char),
+/// case-insensitive. One-shot form of [`LikePattern`].
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    LikePattern::new(pattern).matches(text)
 }
 
 impl fmt::Display for Expr {

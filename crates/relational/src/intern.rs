@@ -118,8 +118,16 @@ thread_local! {
     static TLS_STRINGS: RefCell<Arc<Vec<&'static str>>> = RefCell::new(Arc::new(Vec::new()));
 }
 
-/// Returns a snapshot covering every string interned so far.
-fn strings_snapshot() -> Arc<Vec<&'static str>> {
+/// Returns a snapshot covering every string interned so far, indexed by
+/// symbol id.
+///
+/// Arena entries are append-only, so a snapshot's length is its complete
+/// version stamp: ids `< snapshot.len()` resolve through it forever, and a
+/// longer arena only ever *extends* a previous snapshot. Dictionary-encoded
+/// predicate evaluation ([`crate::exec::pred`]) leans on exactly that to
+/// build (and incrementally extend) per-pattern membership bitmaps over the
+/// whole vocabulary instead of re-matching text per row.
+pub fn strings_snapshot() -> Arc<Vec<&'static str>> {
     let arena_len = interned_count();
     {
         let cached = STRINGS.read().expect("string snapshot poisoned");

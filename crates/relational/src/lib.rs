@@ -36,6 +36,7 @@ pub mod algebra;
 pub mod colrel;
 pub mod csv;
 pub mod database;
+pub mod exec;
 pub mod expr;
 pub mod intern;
 pub mod scan;

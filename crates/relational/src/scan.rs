@@ -1,113 +1,25 @@
-//! Sharded parallel base-table scans.
+//! Parallel base-table scans on the persistent worker pool.
 //!
-//! A scan splits the row range of a [`Table`] into fixed-size chunks of
-//! [`CHUNK_ROWS`] rows and evaluates them on a small pool of scoped worker
-//! threads. Workers pull chunk indices from a shared atomic counter (so a
-//! slow chunk never stalls the others), and the per-chunk results are
-//! merged **in chunk order** afterwards — output row order, and which error
-//! is reported when a predicate fails, are therefore byte-identical to a
-//! sequential scan regardless of the pool size. The pool size comes from
-//! the `ETABLE_SCAN_THREADS` environment variable (clamped to 1..=64),
-//! defaulting to the machine's available parallelism capped at
-//! [`MAX_DEFAULT_THREADS`]; `ETABLE_SCAN_THREADS=1` or inputs of at most
-//! one chunk run inline on the calling thread.
+//! A scan splits the row range of a [`Table`] into fixed [`CHUNK_ROWS`]-row
+//! morsels and evaluates them on the persistent executor pool
+//! ([`crate::exec::pool`]); per-chunk selection vectors are merged in chunk
+//! order, so output row order — and which error is reported when a
+//! predicate fails — is byte-identical to a sequential scan at any pool
+//! size. The pool size is resolved **once**, at pool construction
+//! (`ETABLE_SCAN_THREADS`, clamped, else available parallelism capped at
+//! [`MAX_DEFAULT_THREADS`]); the per-scan hot path never touches the
+//! environment. Predicates are compiled once per scan
+//! ([`crate::exec::pred::CompiledPred`]), so LIKE/equality/IN over text
+//! columns test dictionary bitmaps instead of re-matching strings per row.
 
+use crate::exec::pool;
+use crate::exec::pred::CompiledPred;
 use crate::expr::Expr;
-use crate::table::{Row, Table};
+use crate::table::{ColumnStore, Row, Table};
 use crate::value::Value;
 use crate::Result;
-use std::ops::Range;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-/// Rows per scan shard. Fixed so chunk boundaries (and thus the merge
-/// order) never depend on the pool size.
-pub const CHUNK_ROWS: usize = 2048;
-
-/// Default cap on the worker pool when `ETABLE_SCAN_THREADS` is unset.
-pub const MAX_DEFAULT_THREADS: usize = 8;
-
-/// Resolves the scan worker-pool size.
-///
-/// Reads `ETABLE_SCAN_THREADS` on every call (not cached) so tests can
-/// exercise different pool sizes within one process; the variable only
-/// affects how work is distributed, never the result.
-pub fn scan_threads() -> usize {
-    pool_size(std::env::var("ETABLE_SCAN_THREADS").ok().as_deref())
-}
-
-/// The pool-size policy behind [`scan_threads`], pure so it can be tested
-/// without mutating the process environment: a parseable override is
-/// clamped to 1..=64; anything else falls back to the machine's available
-/// parallelism capped at [`MAX_DEFAULT_THREADS`].
-fn pool_size(override_var: Option<&str>) -> usize {
-    if let Some(v) = override_var {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.clamp(1, 64);
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(MAX_DEFAULT_THREADS)
-}
-
-/// Runs `per_chunk` over every [`CHUNK_ROWS`]-sized shard of `0..n_rows`
-/// and concatenates the chunk outputs in chunk order.
-///
-/// The first `Err` in chunk order wins (within a chunk, the first failing
-/// row), exactly as a sequential left-to-right scan would report it.
-fn run_sharded<T, F>(n_rows: usize, per_chunk: F) -> Result<Vec<T>>
-where
-    T: Send,
-    F: Fn(Range<usize>) -> Result<Vec<T>> + Sync,
-{
-    let n_chunks = n_rows.div_ceil(CHUNK_ROWS).max(1);
-    let workers = scan_threads().min(n_chunks);
-    if workers <= 1 {
-        return per_chunk(0..n_rows);
-    }
-    let next = AtomicUsize::new(0);
-    let failed = AtomicBool::new(false);
-    // Each worker drains chunks off the shared counter and tags its output
-    // with the chunk index; determinism comes from the merge, not from the
-    // (racy) execution order. Once any chunk errors, workers stop claiming
-    // new chunks — the counter hands chunks out in index order, so every
-    // chunk below the erroring one was already claimed and completes, and
-    // the merge still reports the first error in chunk order.
-    let mut tagged: Vec<(usize, Result<Vec<T>>)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut local = Vec::new();
-                    while !failed.load(Ordering::Relaxed) {
-                        let c = next.fetch_add(1, Ordering::Relaxed);
-                        if c >= n_chunks {
-                            break;
-                        }
-                        let lo = c * CHUNK_ROWS;
-                        let hi = ((c + 1) * CHUNK_ROWS).min(n_rows);
-                        let res = per_chunk(lo..hi);
-                        if res.is_err() {
-                            failed.store(true, Ordering::Relaxed);
-                        }
-                        local.push((c, res));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("scan worker panicked"))
-            .collect()
-    });
-    tagged.sort_unstable_by_key(|(c, _)| *c);
-    let mut merged = Vec::new();
-    for (_, chunk) in tagged {
-        merged.extend(chunk?);
-    }
-    Ok(merged)
-}
+pub use crate::exec::pool::{CHUNK_ROWS, MAX_DEFAULT_THREADS};
 
 /// The deduplicated column positions `pred` actually reads (ascending).
 /// Shared with [`crate::colrel::ColRelation::select`], which evaluates
@@ -119,35 +31,38 @@ pub(crate) fn pred_columns(pred: &Expr) -> Vec<usize> {
     cols
 }
 
-/// Fills only `cols` of row `i` into the full-width buffer `buf` (other
-/// slots keep their previous contents — the predicate never reads them).
-fn fill_cells(table: &Table, i: usize, cols: &[usize], buf: &mut [Value]) {
-    for &c in cols {
-        buf[c] = table.value(i, c);
-    }
-}
-
 /// Row ids of `table` satisfying `pred`, ascending.
 ///
 /// This is the parallel pushdown scan: its output is the selection vector
 /// the executor's columnar pipeline
 /// ([`ColRelation`](crate::colrel::ColRelation)) carries end to end, so a
 /// filtered-out row is never touched again after the scan — no row is
-/// materialized, not even for hits. Each shard evaluates the predicate
-/// over **only the columns it references** (one reusable full-width
-/// buffer, untouched slots stay NULL), so a selective filter over a wide
-/// table never pays per-row work proportional to the table width. Row ids
-/// are `u32` across the selection-vector pipeline ([`Table`]s are capped
-/// at `u32::MAX` rows).
+/// materialized, not even for hits. Each morsel evaluates the compiled
+/// predicate over **only the columns it references** (one reusable
+/// full-width buffer, untouched slots stay NULL), so a selective filter
+/// over a wide table never pays per-row work proportional to the table
+/// width. Morsel closures capture `Arc`-shared column handles
+/// ([`ColumnStore`] clones are O(1)), which is what lets them run on
+/// persistent `'static` workers without copying data. Row ids are `u32`
+/// across the selection-vector pipeline ([`Table`]s are capped at
+/// `u32::MAX` rows).
 pub fn filter_indices(table: &Table, pred: &Expr) -> Result<Vec<u32>> {
-    let cols = pred_columns(pred);
-    let width = table.schema().columns.len();
-    run_sharded(table.len(), |range| {
+    let schema = table.schema();
+    let width = schema.columns.len();
+    let compiled = CompiledPred::compile(pred, |c| schema.columns.get(c).map(|col| col.data_type));
+    let stores: Vec<(usize, ColumnStore)> = pred_columns(pred)
+        .into_iter()
+        .filter(|&c| c < width)
+        .map(|c| (c, table.column(c).clone()))
+        .collect();
+    pool::current().run_chunks(table.len(), move |range| {
         let mut buf: Row = vec![Value::Null; width];
         let mut out = Vec::new();
         for i in range {
-            fill_cells(table, i, &cols, &mut buf);
-            if pred.matches(&buf)? {
+            for (c, store) in &stores {
+                buf[*c] = store.get(i);
+            }
+            if compiled.matches(&buf)? {
                 out.push(i as u32);
             }
         }
@@ -158,6 +73,7 @@ pub fn filter_indices(table: &Table, pred: &Expr) -> Result<Vec<u32>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::pool::{with_pool, Pool, PoolConfig};
     use crate::schema::{Column, TableSchema};
     use crate::value::{DataType, Value};
 
@@ -200,7 +116,11 @@ mod tests {
                 seq.push(i as u32);
             }
         }
-        assert_eq!(filter_indices(&t, &pred).unwrap(), seq);
+        for threads in [1, 2, 8] {
+            let pool = Pool::new(PoolConfig::fixed(threads));
+            let got = with_pool(&pool, || filter_indices(&t, &pred).unwrap());
+            assert_eq!(got, seq, "pool size {threads}");
+        }
     }
 
     #[test]
@@ -209,7 +129,6 @@ mod tests {
         // failing row in row order even though later chunks also fail.
         let t = table(4 * CHUNK_ROWS);
         let pred = Expr::col(1).like("a%");
-        let err = filter_indices(&t, &pred).unwrap_err().to_string();
         let mut buf = Row::new();
         let seq_err = (0..t.len())
             .find_map(|i| {
@@ -218,7 +137,11 @@ mod tests {
             })
             .unwrap()
             .to_string();
-        assert_eq!(err, seq_err);
+        for threads in [1, 2, 8] {
+            let pool = Pool::new(PoolConfig::fixed(threads));
+            let err = with_pool(&pool, || filter_indices(&t, &pred).unwrap_err());
+            assert_eq!(err.to_string(), seq_err, "pool size {threads}");
+        }
     }
 
     #[test]
@@ -226,23 +149,5 @@ mod tests {
         let t = table(10);
         let pred = Expr::col(0).lt(Expr::lit(5));
         assert_eq!(filter_indices(&t, &pred).unwrap(), vec![0, 1, 2, 3, 4]);
-    }
-
-    // Tested through the pure policy function, NOT by std::env::set_var:
-    // lib tests run multi-threaded and sibling tests scan (reading the
-    // variable via getenv) concurrently — concurrent setenv/getenv is
-    // undefined behavior on glibc. The places that do set the variable
-    // are safe by construction: tests/parallel_scan.rs is a binary with a
-    // single #[test], and the sql bench sets it before any iteration runs.
-    #[test]
-    fn pool_size_policy_clamps() {
-        assert_eq!(pool_size(Some("0")), 1);
-        assert_eq!(pool_size(Some("999")), 64);
-        assert_eq!(pool_size(Some("3")), 3);
-        assert_eq!(pool_size(Some(" 5 ")), 5);
-        // Unparseable overrides and no override fall back to the default.
-        assert!(pool_size(Some("lots")) >= 1);
-        assert!(pool_size(None) >= 1);
-        assert!(pool_size(None) <= MAX_DEFAULT_THREADS);
     }
 }

@@ -9,12 +9,20 @@
 //! column-at-a-time consumers (the SQL executor's scans, the Appendix A
 //! translation) read [`ColumnStore`]s directly and never materialize rows
 //! they will discard.
+//!
+//! Column buffers are `Arc`-shared: cloning a [`ColumnStore`] is O(1), so
+//! the morsel-driven executor ([`crate::exec::pool`]) can hand owned
+//! `'static` column handles to persistent worker threads without copying
+//! data. Mutation goes through `Arc::make_mut`, which is an uncloned
+//! in-place write whenever the table holds the only reference (the common
+//! case — query handles never outlive a statement).
 
 use crate::intern::Sym;
 use crate::schema::TableSchema;
 use crate::value::{DataType, Value};
 use crate::{Error, Result};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A tuple of values, positionally matching the table's columns.
 ///
@@ -28,10 +36,11 @@ pub type Row = Vec<Value>;
 /// space. Inserts past the cap fail with a constraint error.
 pub const MAX_ROWS: usize = u32::MAX as usize;
 
-/// A packed null bitmap (one bit per row).
+/// A packed null bitmap (one bit per row). Cloning shares the underlying
+/// words (copy-on-write under mutation).
 #[derive(Debug, Clone, Default)]
 pub struct NullBitmap {
-    bits: Vec<u64>,
+    bits: Arc<Vec<u64>>,
 }
 
 impl NullBitmap {
@@ -44,32 +53,38 @@ impl NullBitmap {
 
     fn set(&mut self, i: usize, null: bool) {
         let word = i / 64;
-        if word >= self.bits.len() {
-            self.bits.resize(word + 1, 0);
+        let bits = Arc::make_mut(&mut self.bits);
+        if word >= bits.len() {
+            bits.resize(word + 1, 0);
         }
         if null {
-            self.bits[word] |= 1u64 << (i % 64);
+            bits[word] |= 1u64 << (i % 64);
         } else {
-            self.bits[word] &= !(1u64 << (i % 64));
+            bits[word] &= !(1u64 << (i % 64));
         }
     }
 }
 
 /// The typed body of one column. NULL positions hold an arbitrary
 /// placeholder; the [`NullBitmap`] is authoritative.
+///
+/// Each variant wraps its buffer in an [`Arc`] so clones share storage:
+/// a cloned [`ColumnData`] (or whole [`ColumnStore`]) is a cheap handle
+/// suitable for moving into `'static` worker-pool closures.
 #[derive(Debug, Clone)]
 pub enum ColumnData {
     /// `INT` column.
-    Int(Vec<i64>),
+    Int(Arc<Vec<i64>>),
     /// `FLOAT` column (also stores widened `INT` inserts).
-    Float(Vec<f64>),
+    Float(Arc<Vec<f64>>),
     /// `TEXT` column of interned symbols.
-    Sym(Vec<Sym>),
+    Sym(Arc<Vec<Sym>>),
     /// `BOOL` column.
-    Bool(Vec<bool>),
+    Bool(Arc<Vec<bool>>),
 }
 
-/// One column of a table: typed data plus its null bitmap.
+/// One column of a table: typed data plus its null bitmap. `Clone` is
+/// O(1): both the data buffer and the null bitmap are `Arc`-shared.
 #[derive(Debug, Clone)]
 pub struct ColumnStore {
     data: ColumnData,
@@ -81,10 +96,10 @@ impl ColumnStore {
     /// An empty column of the given declared type.
     pub fn new(ty: DataType) -> Self {
         let data = match ty {
-            DataType::Int => ColumnData::Int(Vec::new()),
-            DataType::Float => ColumnData::Float(Vec::new()),
-            DataType::Text => ColumnData::Sym(Vec::new()),
-            DataType::Bool => ColumnData::Bool(Vec::new()),
+            DataType::Int => ColumnData::Int(Arc::default()),
+            DataType::Float => ColumnData::Float(Arc::default()),
+            DataType::Text => ColumnData::Sym(Arc::default()),
+            DataType::Bool => ColumnData::Bool(Arc::default()),
         };
         ColumnStore {
             data,
@@ -147,21 +162,21 @@ impl ColumnStore {
         if v.is_null() {
             self.nulls.set(i, true);
             match &mut self.data {
-                ColumnData::Int(d) => d.push(0),
-                ColumnData::Float(d) => d.push(0.0),
-                ColumnData::Sym(d) => d.push(Sym::intern("")),
-                ColumnData::Bool(d) => d.push(false),
+                ColumnData::Int(d) => Arc::make_mut(d).push(0),
+                ColumnData::Float(d) => Arc::make_mut(d).push(0.0),
+                ColumnData::Sym(d) => Arc::make_mut(d).push(Sym::intern("")),
+                ColumnData::Bool(d) => Arc::make_mut(d).push(false),
             }
             return;
         }
         match (&mut self.data, v) {
-            (ColumnData::Int(d), Value::Int(x)) => d.push(*x),
-            (ColumnData::Float(d), Value::Float(x)) => d.push(*x),
+            (ColumnData::Int(d), Value::Int(x)) => Arc::make_mut(d).push(*x),
+            (ColumnData::Float(d), Value::Float(x)) => Arc::make_mut(d).push(*x),
             // Int widened into a FLOAT column (Value::Int(2) == Float(2.0),
             // so reads round-trip under value equality).
-            (ColumnData::Float(d), Value::Int(x)) => d.push(*x as f64),
-            (ColumnData::Sym(d), Value::Text(s)) => d.push(*s),
-            (ColumnData::Bool(d), Value::Bool(b)) => d.push(*b),
+            (ColumnData::Float(d), Value::Int(x)) => Arc::make_mut(d).push(*x as f64),
+            (ColumnData::Sym(d), Value::Text(s)) => Arc::make_mut(d).push(*s),
+            (ColumnData::Bool(d), Value::Bool(b)) => Arc::make_mut(d).push(*b),
             _ => unreachable!("insert validated the value against the column type"),
         }
     }
@@ -174,11 +189,11 @@ impl ColumnStore {
         }
         self.nulls.set(i, false);
         match (&mut self.data, v) {
-            (ColumnData::Int(d), Value::Int(x)) => d[i] = *x,
-            (ColumnData::Float(d), Value::Float(x)) => d[i] = *x,
-            (ColumnData::Float(d), Value::Int(x)) => d[i] = *x as f64,
-            (ColumnData::Sym(d), Value::Text(s)) => d[i] = *s,
-            (ColumnData::Bool(d), Value::Bool(b)) => d[i] = *b,
+            (ColumnData::Int(d), Value::Int(x)) => Arc::make_mut(d)[i] = *x,
+            (ColumnData::Float(d), Value::Float(x)) => Arc::make_mut(d)[i] = *x,
+            (ColumnData::Float(d), Value::Int(x)) => Arc::make_mut(d)[i] = *x as f64,
+            (ColumnData::Sym(d), Value::Text(s)) => Arc::make_mut(d)[i] = *s,
+            (ColumnData::Bool(d), Value::Bool(b)) => Arc::make_mut(d)[i] = *b,
             _ => unreachable!("update validated the value against the column type"),
         }
     }
@@ -197,10 +212,10 @@ impl ColumnStore {
             d.truncate(w);
         }
         match &mut self.data {
-            ColumnData::Int(d) => retain(d, keep),
-            ColumnData::Float(d) => retain(d, keep),
-            ColumnData::Sym(d) => retain(d, keep),
-            ColumnData::Bool(d) => retain(d, keep),
+            ColumnData::Int(d) => retain(Arc::make_mut(d), keep),
+            ColumnData::Float(d) => retain(Arc::make_mut(d), keep),
+            ColumnData::Sym(d) => retain(Arc::make_mut(d), keep),
+            ColumnData::Bool(d) => retain(Arc::make_mut(d), keep),
         }
         let mut nulls = NullBitmap::default();
         let mut w = 0usize;

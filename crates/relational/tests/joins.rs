@@ -5,9 +5,9 @@
 //! the naive cross-product oracle (independent row-at-a-time joins), as a
 //! bag, and against hand-computed cardinalities.
 //!
-//! Pool-size invisibility for joins (identical results at scan pools
-//! 1/2/8) lives in `parallel_scan.rs`, which owns the process-global
-//! `ETABLE_SCAN_THREADS` override.
+//! Pool-size invisibility for joins (identical results at pool sizes
+//! 1/2/8) lives in `parallel_scan.rs`, which sweeps sizes in-process via
+//! `exec::pool::with_pool` — the environment is never mutated.
 
 use etable_relational::database::Database;
 use etable_relational::sql::naive::execute_query_naive;
