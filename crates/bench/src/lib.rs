@@ -10,7 +10,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
-use etable_datagen::{generate, GenConfig};
+use etable_datagen::{load_or_generate, GenConfig};
 use etable_relational::database::Database;
 use etable_tgm::{translate, Tgdb, TranslateOptions};
 
@@ -46,9 +46,12 @@ pub fn pin_scan_pool() {
     }
 }
 
-/// Builds a dataset at an arbitrary scale and its TGDB.
+/// Builds a dataset at an arbitrary scale and its TGDB. The database
+/// loads through the datagen snapshot cache (first run generates and
+/// saves; later runs open the binary snapshot — `ETABLE_SNAPSHOT=off`
+/// restores plain generation for generator-sensitive measurements).
 pub fn dataset(cfg: &GenConfig) -> (Database, Tgdb) {
-    let db = generate(cfg);
+    let db = load_or_generate(cfg);
     let tgdb = translate(&db, &TranslateOptions::default()).expect("translation succeeds");
     (db, tgdb)
 }

@@ -18,7 +18,7 @@
 #![forbid(unsafe_code)]
 
 use etable_cli::engine::Engine;
-use etable_datagen::{generate, GenConfig};
+use etable_datagen::{load_or_generate, GenConfig};
 use etable_tgm::{translate, TranslateOptions};
 use std::io::{BufRead, IsTerminal, Write};
 
@@ -40,7 +40,9 @@ fn main() {
         "loading synthetic academic database ({} papers)...",
         cfg.papers
     );
-    let db = generate(&cfg);
+    // Cold starts hit the content-addressed snapshot cache when one
+    // exists for this exact configuration (ETABLE_SNAPSHOT=off disables).
+    let db = load_or_generate(&cfg);
     let tgdb = translate(&db, &TranslateOptions::default()).expect("translation");
     eprintln!(
         "ready: {} nodes, {} edges. Type `help` for commands.",

@@ -112,6 +112,13 @@ impl GenConfig {
 /// not fit.
 pub const MIN_PAPERS: usize = 20;
 
+/// Revision stamp of the generator's *output*, folded into the snapshot
+/// cache key ([`crate::snapshot::snapshot_key`]). Bump this whenever a
+/// change to this module (or [`crate::names`]/[`crate::schema`]) alters
+/// the database produced for an identical [`GenConfig`], so stale cached
+/// corpora can never be served.
+pub const GENERATOR_REV: u32 = 1;
+
 impl Default for GenConfig {
     fn default() -> Self {
         Self::medium()

@@ -17,9 +17,11 @@ pub mod dump;
 pub mod generator;
 pub mod names;
 pub mod schema;
+pub mod snapshot;
 pub mod tasks;
 
 pub use dump::{dump_sql, load_sql};
-pub use generator::{generate, planted, GenConfig, MIN_PAPERS};
+pub use generator::{generate, planted, GenConfig, GENERATOR_REV, MIN_PAPERS};
 pub use schema::academic_schema;
+pub use snapshot::{load_or_generate, snapshot_key};
 pub use tasks::{ground_truth, params, task_set, Task, TaskCategory, TaskParams, TaskSet};

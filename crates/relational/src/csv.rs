@@ -198,6 +198,36 @@ mod tests {
     }
 
     #[test]
+    fn loads_into_a_reopened_database() {
+        // CSV ingest composes with disk snapshots: loading into a
+        // reopened (paged-backend) database behaves exactly like loading
+        // into the resident original — inserts force the touched columns
+        // resident and FK enforcement still sees the on-disk rows.
+        let mut resident = db();
+        load_csv(
+            &mut resident,
+            "Conferences",
+            "id,acronym\n1,SIGMOD\n2,KDD\n",
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join(format!("etable-csv-reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        resident.save(&dir).unwrap();
+        let mut reopened = Database::open(&dir).unwrap();
+        let csv = "title,id,conference_id\n\"Usable, very\",10,1\nPlain title,11,2\n";
+        assert_eq!(load_csv(&mut reopened, "Papers", csv).unwrap(), 2);
+        // FK enforcement consults the reopened Conferences rows.
+        assert!(load_csv(&mut reopened, "Papers", "id,conference_id,title\n12,99,T\n").is_err());
+        load_csv(&mut resident, "Papers", csv).unwrap();
+        assert_eq!(
+            reopened.table("Papers").unwrap().row(1).unwrap(),
+            resident.table("Papers").unwrap().row(1).unwrap()
+        );
+        reopened.check_integrity().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn loaded_csv_translates_to_tgm() {
         // The promised end-to-end: CSV -> relational -> typed graph.
         let mut d = db();

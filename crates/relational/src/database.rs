@@ -21,6 +21,27 @@ impl Database {
         Self::default()
     }
 
+    /// Rebuilds a database from already-opened tables (the on-disk
+    /// reader's path; FK validity was checked when the data was saved).
+    pub(crate) fn from_tables(tables: BTreeMap<String, Table>) -> Self {
+        Database { tables }
+    }
+
+    /// Saves the database under `dir` in the binary table format
+    /// ([`crate::storage`]): one checksummed table file per table plus a
+    /// manifest. Deterministic — saving the same data twice writes
+    /// byte-identical files.
+    pub fn save(&self, dir: &std::path::Path) -> Result<()> {
+        crate::storage::save_database(self, dir)
+    }
+
+    /// Opens a database saved by [`Database::save`]. Every file checksum
+    /// is verified now (corruption surfaces here as [`Error::Storage`]);
+    /// column data pages in lazily on first touch.
+    pub fn open(dir: &std::path::Path) -> Result<Self> {
+        crate::storage::open_database(dir)
+    }
+
     /// Creates a table from `schema`.
     pub fn create_table(&mut self, schema: TableSchema) -> Result<()> {
         if self.tables.contains_key(&schema.name) {

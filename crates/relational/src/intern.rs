@@ -150,6 +150,34 @@ pub fn interned_count() -> usize {
     ARENA.read().expect("interner poisoned").strings.len()
 }
 
+/// Interns a batch of strings, taking the arena write lock once instead of
+/// once per string. Returns the symbols in input order.
+///
+/// This is the arena-rehydration path for [`crate::storage`]: reopening a
+/// saved database re-interns every string a table's arena segment holds, and
+/// a per-string [`Sym::intern`] would pay the read-then-write lock dance for
+/// each of them. Semantics are identical to interning each string in order.
+pub fn intern_all<S: AsRef<str>>(strings: &[S]) -> Vec<Sym> {
+    if strings.is_empty() {
+        return Vec::new();
+    }
+    let mut arena = ARENA.write().expect("interner poisoned");
+    strings
+        .iter()
+        .map(|s| {
+            let s = s.as_ref();
+            if let Some(&id) = arena.ids.get(s) {
+                return Sym(id);
+            }
+            let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+            let id = u32::try_from(arena.strings.len()).expect("interner capacity exceeded");
+            arena.strings.push(leaked);
+            arena.ids.insert(leaked, id);
+            Sym(id)
+        })
+        .collect()
+}
+
 /// The lazily-maintained dictionary-rank table: `ranks[id]` is the position
 /// of symbol `id` in the lexicographic order of every string interned when
 /// the snapshot was built. Guarded separately from [`ARENA`]; the lock order

@@ -42,6 +42,7 @@ pub mod intern;
 pub mod scan;
 pub mod schema;
 pub mod sql;
+pub mod storage;
 pub mod table;
 pub mod value;
 
@@ -64,6 +65,10 @@ pub enum Error {
     Parse(String),
     /// Static semantic analysis rejection (see [`sql::analyze`]).
     Analyze(String),
+    /// On-disk storage problem: truncated or corrupt file, bad magic,
+    /// unsupported format version, checksum mismatch (see [`storage`]).
+    /// The message always names the offending path and segment.
+    Storage(String),
 }
 
 impl fmt::Display for Error {
@@ -76,6 +81,7 @@ impl fmt::Display for Error {
             Error::Eval(m) => write!(f, "evaluation error: {m}"),
             Error::Parse(m) => write!(f, "SQL parse error: {m}"),
             Error::Analyze(m) => write!(f, "analysis error: {m}"),
+            Error::Storage(m) => write!(f, "storage error: {m}"),
         }
     }
 }

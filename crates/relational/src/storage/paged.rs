@@ -1,0 +1,85 @@
+//! The lazy half of the `Paged` column backing: a [`ColumnPart`] describes
+//! where one column's segment lives on disk and how to decode it; the
+//! first touch of the column (via `ColumnStore::data`/`get`) loads it with
+//! fixed-size chunk reads, re-verifies the segment checksum, and caches
+//! the decoded buffers for every clone of the store.
+//!
+//! All table-file handles of one table share a single `Mutex<File>`
+//! (seek then read under the lock), so a table costs one file descriptor
+//! no matter how many of its columns page in, and no `unsafe`/mmap is
+//! involved — `#![forbid(unsafe_code)]` stands.
+
+use super::format::{decode_column, read_segment_payload, SegmentRef};
+use crate::intern::Sym;
+use crate::table::{ColumnData, NullBitmap};
+use crate::value::DataType;
+use crate::Result;
+use std::fs::File;
+use std::sync::{Arc, Mutex};
+
+/// One on-disk column: everything needed to load and decode its segment
+/// on first touch. Built by `storage::open` after the whole file's
+/// checksums have already been verified once.
+#[derive(Debug)]
+pub struct ColumnPart {
+    /// Shared handle on the table file (one per table, not per column).
+    file: Arc<Mutex<File>>,
+    /// Where the column's payload lives and what it must hash to.
+    seg: SegmentRef,
+    /// `"<path>: column segment N (`Table.col`)"` — names the source in
+    /// every load failure.
+    ctx: String,
+    /// Declared type from the schema segment (cross-checked on decode).
+    ty: DataType,
+    /// Row count from the schema segment (cross-checked on decode).
+    rows: usize,
+    /// File-local arena id -> process symbol, shared by all the table's
+    /// columns (built once at open by interning the arena segment).
+    syms: Arc<Vec<Sym>>,
+}
+
+impl ColumnPart {
+    /// Describes one column segment of an opened table file.
+    pub(crate) fn new(
+        file: Arc<Mutex<File>>,
+        seg: SegmentRef,
+        ctx: String,
+        ty: DataType,
+        rows: usize,
+        syms: Arc<Vec<Sym>>,
+    ) -> Self {
+        ColumnPart {
+            file,
+            seg,
+            ctx,
+            ty,
+            rows,
+            syms,
+        }
+    }
+
+    /// Loads and decodes the column: chunked read, checksum re-verify,
+    /// typed decode. Errors only if the file changed since `open`
+    /// verified it (or the medium failed).
+    pub(crate) fn load(&self) -> Result<(ColumnData, NullBitmap)> {
+        let payload = {
+            let mut f = self.file.lock().expect("table file lock poisoned");
+            read_segment_payload(&mut f, &self.seg, &self.ctx)?
+        };
+        decode_column(&payload, &self.ctx, self.ty, self.rows, &self.syms)
+    }
+
+    /// The infallible entry point `ColumnStore`'s lazy cell needs.
+    ///
+    /// # Panics
+    /// Only when the table file was truncated, rewritten or bit-flipped
+    /// *after* `storage::open` verified every segment checksum — external
+    /// mutation of an open snapshot, which no query API can cause. The
+    /// message names the path and segment.
+    pub(crate) fn load_or_die(&self) -> (ColumnData, NullBitmap) {
+        match self.load() {
+            Ok(parts) => parts,
+            Err(e) => panic!("paged column load failed after a verified open: {e}"),
+        }
+    }
+}

@@ -19,10 +19,11 @@
 
 use crate::intern::Sym;
 use crate::schema::TableSchema;
+use crate::storage::paged::ColumnPart;
 use crate::value::{DataType, Value};
 use crate::{Error, Result};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A tuple of values, positionally matching the table's columns.
 ///
@@ -63,6 +64,20 @@ impl NullBitmap {
             bits[word] &= !(1u64 << (i % 64));
         }
     }
+
+    /// The packed words backing the bitmap (may be shorter than
+    /// `ceil(rows / 64)`: trailing all-valid words are never allocated).
+    /// Used by the on-disk writer ([`crate::storage`]).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Rebuilds a bitmap from packed words (the on-disk reader's path).
+    pub(crate) fn from_words(words: Vec<u64>) -> Self {
+        NullBitmap {
+            bits: Arc::new(words),
+        }
+    }
 }
 
 /// The typed body of one column. NULL positions hold an arbitrary
@@ -83,12 +98,31 @@ pub enum ColumnData {
     Bool(Arc<Vec<bool>>),
 }
 
+/// The physical residence of one column: today's Arc-backed vectors, or a
+/// lazily-loaded handle into an on-disk table file ([`crate::storage`]).
+///
+/// `Paged` columns materialize on first touch — a checksummed chunked read
+/// of the column's segment — and cache the result in an `Arc<OnceLock>`, so
+/// every clone of the [`ColumnStore`] (scan handles, worker-pool closures)
+/// shares the one materialization. Mutation always converts to `Resident`
+/// first: the disk file is a snapshot, never a live write target.
+#[derive(Debug, Clone)]
+enum Backing {
+    /// Fully in memory (the only state a mutated column can be in).
+    Resident { data: ColumnData, nulls: NullBitmap },
+    /// On disk, loaded on first touch and cached.
+    Paged {
+        part: Arc<ColumnPart>,
+        cell: Arc<OnceLock<(ColumnData, NullBitmap)>>,
+    },
+}
+
 /// One column of a table: typed data plus its null bitmap. `Clone` is
-/// O(1): both the data buffer and the null bitmap are `Arc`-shared.
+/// O(1): both the data buffer and the null bitmap are `Arc`-shared (and a
+/// paged column's lazy-load cache is shared across clones too).
 #[derive(Debug, Clone)]
 pub struct ColumnStore {
-    data: ColumnData,
-    nulls: NullBitmap,
+    backing: Backing,
     len: usize,
 }
 
@@ -102,9 +136,56 @@ impl ColumnStore {
             DataType::Bool => ColumnData::Bool(Arc::default()),
         };
         ColumnStore {
-            data,
-            nulls: NullBitmap::default(),
+            backing: Backing::Resident {
+                data,
+                nulls: NullBitmap::default(),
+            },
             len: 0,
+        }
+    }
+
+    /// A paged column: `part` describes the on-disk segment; nothing is
+    /// read until the first touch.
+    pub(crate) fn paged(part: Arc<ColumnPart>, len: usize) -> Self {
+        ColumnStore {
+            backing: Backing::Paged {
+                part,
+                cell: Arc::new(OnceLock::new()),
+            },
+            len,
+        }
+    }
+
+    /// The typed body and null bitmap, materializing a paged column on
+    /// first touch.
+    fn parts(&self) -> (&ColumnData, &NullBitmap) {
+        match &self.backing {
+            Backing::Resident { data, nulls } => (data, nulls),
+            Backing::Paged { part, cell } => {
+                let (data, nulls) = cell.get_or_init(|| part.load_or_die());
+                (data, nulls)
+            }
+        }
+    }
+
+    /// Converts a paged column to resident (an `Arc` handoff of the cached
+    /// materialization, not a copy) so mutation never writes at the disk
+    /// snapshot.
+    fn ensure_resident(&mut self) {
+        if let Backing::Paged { .. } = self.backing {
+            let (data, nulls) = {
+                let (d, n) = self.parts();
+                (d.clone(), n.clone())
+            };
+            self.backing = Backing::Resident { data, nulls };
+        }
+    }
+
+    fn parts_mut(&mut self) -> (&mut ColumnData, &mut NullBitmap) {
+        self.ensure_resident();
+        match &mut self.backing {
+            Backing::Resident { data, nulls } => (data, nulls),
+            Backing::Paged { .. } => unreachable!("ensure_resident converted the backing"),
         }
     }
 
@@ -118,15 +199,32 @@ impl ColumnStore {
         self.len == 0
     }
 
+    /// True when the column's data is in memory — trivially for resident
+    /// columns, or after the first touch of a paged one. Lets tests pin
+    /// the laziness contract (`open` must not read column segments).
+    pub fn is_materialized(&self) -> bool {
+        match &self.backing {
+            Backing::Resident { .. } => true,
+            Backing::Paged { cell, .. } => cell.get().is_some(),
+        }
+    }
+
     /// Whether the cell at `i` is NULL.
     pub fn is_null(&self, i: usize) -> bool {
-        self.nulls.get(i)
+        self.parts().1.get(i)
     }
 
     /// The typed column body (column-at-a-time access). Check
-    /// [`ColumnStore::is_null`] before trusting a position.
+    /// [`ColumnStore::is_null`] before trusting a position. Materializes a
+    /// paged column on first touch.
     pub fn data(&self) -> &ColumnData {
-        &self.data
+        self.parts().0
+    }
+
+    /// The null bitmap alongside the body (single materialization for
+    /// consumers that need both — the on-disk writer).
+    pub(crate) fn raw_parts(&self) -> (&ColumnData, &NullBitmap) {
+        self.parts()
     }
 
     /// Materializes the cell at `i` as a [`Value`].
@@ -139,10 +237,11 @@ impl ColumnStore {
             "column row {i} out of range (len {})",
             self.len
         );
-        if self.nulls.get(i) {
+        let (data, nulls) = self.parts();
+        if nulls.get(i) {
             return Value::Null;
         }
-        match &self.data {
+        match data {
             ColumnData::Int(v) => Value::Int(v[i]),
             ColumnData::Float(v) => Value::Float(v[i]),
             ColumnData::Sym(v) => Value::Text(v[i]),
@@ -159,9 +258,10 @@ impl ColumnStore {
     fn push(&mut self, v: &Value) {
         let i = self.len;
         self.len += 1;
+        let (data, nulls) = self.parts_mut();
         if v.is_null() {
-            self.nulls.set(i, true);
-            match &mut self.data {
+            nulls.set(i, true);
+            match data {
                 ColumnData::Int(d) => Arc::make_mut(d).push(0),
                 ColumnData::Float(d) => Arc::make_mut(d).push(0.0),
                 ColumnData::Sym(d) => Arc::make_mut(d).push(Sym::intern("")),
@@ -169,7 +269,7 @@ impl ColumnStore {
             }
             return;
         }
-        match (&mut self.data, v) {
+        match (data, v) {
             (ColumnData::Int(d), Value::Int(x)) => Arc::make_mut(d).push(*x),
             (ColumnData::Float(d), Value::Float(x)) => Arc::make_mut(d).push(*x),
             // Int widened into a FLOAT column (Value::Int(2) == Float(2.0),
@@ -183,12 +283,13 @@ impl ColumnStore {
 
     /// Overwrites the cell at `i`. The caller has already validated `fits`.
     fn set(&mut self, i: usize, v: &Value) {
+        let (data, nulls) = self.parts_mut();
         if v.is_null() {
-            self.nulls.set(i, true);
+            nulls.set(i, true);
             return;
         }
-        self.nulls.set(i, false);
-        match (&mut self.data, v) {
+        nulls.set(i, false);
+        match (data, v) {
             (ColumnData::Int(d), Value::Int(x)) => Arc::make_mut(d)[i] = *x,
             (ColumnData::Float(d), Value::Float(x)) => Arc::make_mut(d)[i] = *x,
             (ColumnData::Float(d), Value::Int(x)) => Arc::make_mut(d)[i] = *x as f64,
@@ -211,23 +312,41 @@ impl ColumnStore {
             }
             d.truncate(w);
         }
-        match &mut self.data {
+        let (data, nulls) = self.parts_mut();
+        match data {
             ColumnData::Int(d) => retain(Arc::make_mut(d), keep),
             ColumnData::Float(d) => retain(Arc::make_mut(d), keep),
             ColumnData::Sym(d) => retain(Arc::make_mut(d), keep),
             ColumnData::Bool(d) => retain(Arc::make_mut(d), keep),
         }
-        let mut nulls = NullBitmap::default();
+        let mut packed = NullBitmap::default();
         let mut w = 0usize;
         for (r, &k) in keep.iter().enumerate() {
             if k {
-                nulls.set(w, self.nulls.get(r));
+                packed.set(w, nulls.get(r));
                 w += 1;
             }
         }
-        self.nulls = nulls;
+        *nulls = packed;
         self.len = w;
     }
+}
+
+/// How primary-key lookups are answered.
+///
+/// Resident tables maintain a hash map incrementally. Tables opened from
+/// a disk snapshot start in `Ordered` form instead: the snapshot stores
+/// (and `open` verifies) a permutation of row indices in ascending PK
+/// order, so uniqueness is already proven and lookups binary-search the
+/// columns directly — no per-row hashing on the cold-start path. The
+/// first mutation converts to `Hash` once.
+#[derive(Debug, Clone)]
+enum PkIndex {
+    /// PK value(s) -> row index.
+    Hash(HashMap<Vec<Value>, usize>),
+    /// Row indices in ascending PK order; an empty vec means the rows are
+    /// already ascending (identity permutation).
+    Ordered(Vec<u32>),
 }
 
 /// In-memory columnar storage for one table.
@@ -238,8 +357,8 @@ pub struct Table {
     len: usize,
     /// Positions of the PK columns (cached from the schema).
     pk_cols: Vec<usize>,
-    /// PK value(s) -> row index. Only maintained when the schema has a PK.
-    pk_index: HashMap<Vec<Value>, usize>,
+    /// PK lookup structure. Only maintained when the schema has a PK.
+    pk_index: PkIndex,
     /// column position -> (value -> row indices), built on demand.
     secondary: HashMap<usize, HashMap<Value, Vec<usize>>>,
 }
@@ -259,7 +378,39 @@ impl Table {
             cols,
             len: 0,
             pk_cols,
-            pk_index: HashMap::new(),
+            pk_index: PkIndex::Hash(HashMap::new()),
+            secondary: HashMap::new(),
+        })
+    }
+
+    /// Rebuilds a table around already-constructed column stores (the
+    /// on-disk reader's path). Validates the schema; PK lookups are
+    /// answered through `pk_order` — a permutation of row indices in
+    /// ascending PK order that the **caller must already have verified**
+    /// (strictly ascending through the permutation, every index in
+    /// bounds; strictness is what proves uniqueness). `open` does that
+    /// verification with full path context, touching only the PK columns,
+    /// so non-key paged columns stay unmaterialized until a query first
+    /// reads them — and no hash index is built until the first mutation.
+    pub(crate) fn from_parts(
+        schema: TableSchema,
+        cols: Vec<ColumnStore>,
+        len: usize,
+        pk_order: Vec<u32>,
+    ) -> Result<Self> {
+        schema.validate()?;
+        let pk_cols = schema.primary_key_indices()?;
+        let pk_index = if pk_cols.is_empty() {
+            PkIndex::Hash(HashMap::new())
+        } else {
+            PkIndex::Ordered(pk_order)
+        };
+        Ok(Table {
+            schema,
+            cols,
+            len,
+            pk_cols,
+            pk_index,
             secondary: HashMap::new(),
         })
     }
@@ -364,6 +515,67 @@ impl Table {
         Ok(())
     }
 
+    /// Compares the stored PK of `row` against `key`, column by column.
+    fn cmp_pk_row_key(&self, row: usize, key: &[Value]) -> std::cmp::Ordering {
+        for (&c, kv) in self.pk_cols.iter().zip(key) {
+            let ord = self.cols[c].get(row).total_cmp(kv);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    /// Row index holding `key`, through whichever PK representation the
+    /// table currently carries.
+    fn pk_lookup(&self, key: &[Value]) -> Option<usize> {
+        if key.len() != self.pk_cols.len() || self.pk_cols.is_empty() {
+            return None;
+        }
+        match &self.pk_index {
+            PkIndex::Hash(map) => map.get(key).copied(),
+            PkIndex::Ordered(perm) => {
+                let row_at = |i: usize| {
+                    if perm.is_empty() {
+                        i
+                    } else {
+                        perm[i] as usize
+                    }
+                };
+                let (mut lo, mut hi) = (0usize, self.len);
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    let row = row_at(mid);
+                    match self.cmp_pk_row_key(row, key) {
+                        std::cmp::Ordering::Less => lo = mid + 1,
+                        std::cmp::Ordering::Greater => hi = mid,
+                        std::cmp::Ordering::Equal => return Some(row),
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// The PK hash map, converting an opened snapshot's verified sort
+    /// order into a map first (mutation needs a structure it can update
+    /// incrementally; uniqueness was proven at open, so the build cannot
+    /// collide).
+    fn pk_hash_mut(&mut self) -> &mut HashMap<Vec<Value>, usize> {
+        if matches!(self.pk_index, PkIndex::Ordered(_)) {
+            let mut map = HashMap::with_capacity(self.len);
+            for i in 0..self.len {
+                let key: Vec<Value> = self.pk_cols.iter().map(|&c| self.cols[c].get(i)).collect();
+                map.insert(key, i);
+            }
+            self.pk_index = PkIndex::Hash(map);
+        }
+        match &mut self.pk_index {
+            PkIndex::Hash(map) => map,
+            PkIndex::Ordered(_) => unreachable!("converted to Hash above"),
+        }
+    }
+
     /// Registers a row's PK in the index (uniqueness + non-NULL checks).
     fn index_pk(&mut self, row: &[Value], at: usize) -> Result<()> {
         if let Some(key) = self.pk_key(row) {
@@ -373,13 +585,13 @@ impl Table {
                     self.schema.name
                 )));
             }
-            if self.pk_index.contains_key(&key) {
+            if self.pk_lookup(&key).is_some() {
                 return Err(Error::Constraint(format!(
                     "duplicate primary key {key:?} in table `{}`",
                     self.schema.name
                 )));
             }
-            self.pk_index.insert(key, at);
+            self.pk_hash_mut().insert(key, at);
         }
         Ok(())
     }
@@ -421,12 +633,12 @@ impl Table {
 
     /// Looks up a row by its (possibly composite) primary-key value.
     pub fn get_by_pk(&self, key: &[Value]) -> Option<Row> {
-        self.pk_index.get(key).and_then(|&i| self.row(i))
+        self.pk_lookup(key).and_then(|i| self.row(i))
     }
 
     /// Position of the row with the given primary key.
     pub fn pk_row_index(&self, key: &[Value]) -> Option<usize> {
-        self.pk_index.get(key).copied()
+        self.pk_lookup(key)
     }
 
     /// Ensures a secondary hash index exists on the column at `col` and
@@ -539,19 +751,22 @@ impl Table {
     /// indexes.
     fn rebuild_indexes(&mut self) -> Result<()> {
         self.secondary.clear();
-        self.pk_index.clear();
         if self.pk_cols.is_empty() {
+            self.pk_index = PkIndex::Hash(HashMap::new());
             return Ok(());
         }
+        let mut map = HashMap::with_capacity(self.len);
         for i in 0..self.len {
             let key: Vec<Value> = self.pk_cols.iter().map(|&c| self.cols[c].get(i)).collect();
-            if self.pk_index.insert(key.clone(), i).is_some() {
+            if map.insert(key, i).is_some() {
+                let key: Vec<Value> = self.pk_cols.iter().map(|&c| self.cols[c].get(i)).collect();
                 return Err(Error::Constraint(format!(
                     "duplicate primary key {key:?} in table `{}`",
                     self.schema.name
                 )));
             }
         }
+        self.pk_index = PkIndex::Hash(map);
         Ok(())
     }
 

@@ -1,0 +1,248 @@
+//! Corrupt-input hardening for the binary table format: truncated files,
+//! bad magic, wrong version and checksum mismatches must surface from
+//! `Database::open` as typed `Error::Storage` values naming the offending
+//! path/segment — never as a panic, and never as silently-wrong data.
+
+use etable_relational::database::Database;
+use etable_relational::schema::{Column, TableSchema};
+use etable_relational::storage::FORMAT_VERSION;
+use etable_relational::value::{DataType, Value};
+use etable_relational::Error;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "etable-storage-err-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small saved database to corrupt: two tables, all column types, NULLs.
+fn saved_db(tag: &str) -> PathBuf {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "T",
+            vec![
+                Column::new("id", DataType::Int),
+                Column::nullable("f", DataType::Float),
+                Column::nullable("s", DataType::Text),
+                Column::nullable("b", DataType::Bool),
+            ],
+        )
+        .with_primary_key(&["id"]),
+    )
+    .unwrap();
+    for i in 0..200i64 {
+        db.insert(
+            "T",
+            vec![
+                i.into(),
+                if i % 7 == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(i as f64)
+                },
+                Value::text(format!("s{}", i % 13)),
+                Value::Bool(i % 2 == 0),
+            ],
+        )
+        .unwrap();
+    }
+    db.create_table(TableSchema::new("U", vec![Column::new("x", DataType::Int)]))
+        .unwrap();
+    db.insert("U", vec![1.into()]).unwrap();
+    let dir = scratch_dir(tag);
+    db.save(&dir).unwrap();
+    dir
+}
+
+/// Asserts `open` fails with a Storage error whose message contains every
+/// expected fragment (path/segment naming contract).
+fn assert_open_storage_err(dir: &Path, fragments: &[&str]) -> String {
+    match Database::open(dir) {
+        Ok(_) => panic!("open of corrupted {} must fail", dir.display()),
+        Err(Error::Storage(msg)) => {
+            for f in fragments {
+                assert!(msg.contains(f), "error message must name `{f}`, got: {msg}");
+            }
+            msg
+        }
+        Err(other) => panic!("expected Error::Storage, got {other:?}"),
+    }
+}
+
+#[test]
+fn missing_manifest_is_a_typed_error() {
+    let dir = scratch_dir("missing");
+    fs::create_dir_all(&dir).unwrap();
+    assert_open_storage_err(&dir, &["MANIFEST.etb", "cannot open"]);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_table_file_is_a_typed_error() {
+    let dir = saved_db("lost-table");
+    fs::remove_file(dir.join("t0.etb")).unwrap();
+    assert_open_storage_err(&dir, &["t0.etb", "cannot open"]);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_magic_names_the_file() {
+    for victim in ["MANIFEST.etb", "t0.etb"] {
+        let dir = saved_db("magic");
+        let path = dir.join(victim);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[0] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert_open_storage_err(&dir, &[victim, "bad magic"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn wrong_version_is_rejected_with_both_versions_named() {
+    let dir = saved_db("version");
+    let path = dir.join("t0.etb");
+    let mut bytes = fs::read(&path).unwrap();
+    bytes[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    fs::write(&path, &bytes).unwrap();
+    let msg = assert_open_storage_err(&dir, &["t0.etb", "unsupported format version"]);
+    assert!(msg.contains(&format!("{}", FORMAT_VERSION + 1)), "{msg}");
+    assert!(msg.contains(&format!("reads {FORMAT_VERSION}")), "{msg}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncation_anywhere_is_a_typed_error() {
+    // Sweep truncation points across the whole structure: inside the
+    // header, the length prefix, the schema payload, and deep in a column
+    // segment. Every one must produce Error::Storage, never a panic.
+    let full = {
+        let dir = saved_db("trunc-probe");
+        let bytes = fs::read(dir.join("t0.etb")).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+        bytes
+    };
+    let cuts = [
+        0usize,
+        3,
+        7,
+        9,
+        15,
+        40,
+        full.len() / 2,
+        full.len() - 5,
+        full.len() - 1,
+    ];
+    for cut in cuts {
+        let dir = saved_db("trunc");
+        let path = dir.join("t0.etb");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..cut.min(bytes.len())]).unwrap();
+        let msg = assert_open_storage_err(&dir, &["t0.etb"]);
+        assert!(
+            msg.contains("truncated") || msg.contains("overruns") || msg.contains("bad magic"),
+            "cut at {cut}: {msg}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn bit_flips_fail_the_checksum_naming_the_segment() {
+    // Flip one byte inside each segment's payload region. The up-front
+    // CRC sweep at open must catch every flip and say which segment.
+    let dir = saved_db("flip-probe");
+    let len = fs::read(dir.join("t0.etb")).unwrap().len();
+    let _ = fs::remove_dir_all(&dir);
+    // Sample positions across the file body, past the 8-byte header.
+    for pos in [20usize, len / 4, len / 2, len - 10] {
+        let dir = saved_db("flip");
+        let path = dir.join("t0.etb");
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[pos] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let msg = assert_open_storage_err(&dir, &["t0.etb"]);
+        assert!(
+            msg.contains("checksum mismatch")
+                || msg.contains("segment")
+                || msg.contains("overruns"),
+            "flip at {pos}: {msg}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn manifest_checksum_flip_names_the_manifest_segment() {
+    let dir = saved_db("mflip");
+    let path = dir.join("MANIFEST.etb");
+    let mut bytes = fs::read(&path).unwrap();
+    let mid = 8 + 8 + 2; // into the single segment's payload
+    bytes[mid] ^= 0x01;
+    fs::write(&path, &bytes).unwrap();
+    assert_open_storage_err(
+        &dir,
+        &["MANIFEST.etb", "manifest segment", "checksum mismatch"],
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn manifest_pointing_at_wrong_table_is_rejected() {
+    let dir = saved_db("swap");
+    // Swap the two table files: each now holds a table whose name
+    // disagrees with the manifest mapping.
+    let a = fs::read(dir.join("t0.etb")).unwrap();
+    let b = fs::read(dir.join("t1.etb")).unwrap();
+    fs::write(dir.join("t0.etb"), &b).unwrap();
+    fs::write(dir.join("t1.etb"), &a).unwrap();
+    assert_open_storage_err(&dir, &["manifest"]);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let dir = saved_db("tail");
+    let path = dir.join("t0.etb");
+    let mut bytes = fs::read(&path).unwrap();
+    bytes.extend_from_slice(&[1, 2, 3]);
+    fs::write(&path, &bytes).unwrap();
+    let msg = assert_open_storage_err(&dir, &["t0.etb"]);
+    assert!(
+        msg.contains("truncated length prefix") || msg.contains("overruns"),
+        "{msg}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_snapshots_never_return_wrong_data() {
+    // End to end: a snapshot with any of the corruption classes applied
+    // either opens to exactly the original data (impossible here) or
+    // errors — `open` must never hand back a database that differs.
+    let dir = saved_db("never-wrong");
+    let path = dir.join("t0.etb");
+    let original = fs::read(&path).unwrap();
+    for pos in (8..original.len()).step_by(101) {
+        let mut bytes = original.clone();
+        bytes[pos] = bytes[pos].wrapping_add(1);
+        fs::write(&path, &bytes).unwrap();
+        assert!(
+            Database::open(&dir).is_err(),
+            "byte {pos} corrupted but open succeeded"
+        );
+    }
+    // Restoring the original bytes restores a clean open.
+    fs::write(&path, &original).unwrap();
+    assert!(Database::open(&dir).is_ok());
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -26,9 +26,12 @@ pub use etable_study as study;
 pub use etable_tgm as tgm;
 
 /// Builds the default evaluation environment: the synthetic academic
-/// database at medium scale plus its typed-graph translation.
+/// database at medium scale plus its typed-graph translation. The
+/// database comes through the datagen snapshot cache
+/// ([`datagen::load_or_generate`]), so repeat cold starts open the saved
+/// binary corpus instead of re-running the generator.
 pub fn default_environment() -> (relational::database::Database, tgm::Tgdb) {
-    let db = datagen::generate(&datagen::GenConfig::medium());
+    let db = datagen::load_or_generate(&datagen::GenConfig::medium());
     let tgdb = tgm::translate(&db, &tgm::TranslateOptions::default())
         .expect("the Figure 3 schema always translates");
     (db, tgdb)

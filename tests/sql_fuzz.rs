@@ -34,6 +34,13 @@
 //! SUM/AVG are only generated over INT columns with small values: their
 //! accumulator is exact there, so the two engines' different evaluation
 //! orders cannot produce last-ulp float divergence.
+//!
+//! **Disk leg**: `paged_backend_agrees_with_resident` replays the same
+//! case grammar against a saved-and-reopened database (the paged
+//! `ColumnStore` backend behind `Database::save`/`Database::open`),
+//! asserting byte-identical rows vs the resident backend and
+//! byte-identical re-saves. It rides every `--test sql_fuzz` invocation,
+//! including the nightly deep-verify matrix.
 
 use etable_repro::relational::database::Database;
 use etable_repro::relational::sql::naive::execute_query_naive;
@@ -42,6 +49,8 @@ use etable_repro::relational::value::Value;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Text pool with case variety, duplicates-by-construction and an empty
 /// string; interned in shuffled order per case so symbol ids never align
@@ -507,6 +516,89 @@ fn check_case(seed: u64) -> std::result::Result<(), String> {
     Ok(())
 }
 
+/// Unique scratch directory for the disk leg (parallel proptest cases
+/// within one process must not collide, nor reruns across processes).
+fn scratch_dir() -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("etable-fuzz-disk-{}-{n}", std::process::id()))
+}
+
+/// Disk leg of the differential: the same case, but the query also runs
+/// against a saved-and-reopened copy of the database (the paged
+/// `ColumnStore` backend). Rows must be **byte-identical** to the
+/// resident run — same values, same order — and rejections must carry the
+/// same error. Saving the reopened copy again must reproduce the on-disk
+/// bytes exactly (round-trip idempotence under fuzzer-shaped data:
+/// adversarial intern order, NULL-riddled columns, empty tables).
+fn check_disk_case(seed: u64) -> std::result::Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = random_db(&mut rng);
+    let dir = scratch_dir();
+    let result = disk_case_on(&db, &mut rng, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn disk_case_on(
+    db: &Database,
+    rng: &mut StdRng,
+    dir: &std::path::Path,
+) -> std::result::Result<(), String> {
+    db.save(dir).map_err(|e| format!("save failed: {e}"))?;
+    let reopened = Database::open(dir).map_err(|e| format!("open failed: {e}"))?;
+
+    // save→open→save must be byte-identical (canonical encoding).
+    let again = dir.with_extension("resave");
+    reopened
+        .save(&again)
+        .map_err(|e| format!("re-save failed: {e}"))?;
+    for entry in std::fs::read_dir(dir).map_err(|e| e.to_string())? {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let name = entry.file_name();
+        let a = std::fs::read(entry.path()).map_err(|e| e.to_string())?;
+        let b = std::fs::read(again.join(&name))
+            .map_err(|e| format!("{}: {e}", name.to_string_lossy()))?;
+        if a != b {
+            let _ = std::fs::remove_dir_all(&again);
+            return Err(format!(
+                "re-saved `{}` is not byte-identical to the original save",
+                name.to_string_lossy()
+            ));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&again);
+
+    let gen = gen_query(rng);
+    let q = match parse_statement(&gen.sql) {
+        Ok(Statement::Select(q)) => q,
+        other => {
+            return Err(format!(
+                "generated SQL failed to parse: {other:?}: {}",
+                gen.sql
+            ))
+        }
+    };
+    match (execute_query(db, &q), execute_query(&reopened, &q)) {
+        (Ok(resident), Ok(paged)) => {
+            if resident.rows != paged.rows {
+                return Err(format!(
+                    "disk backend diverged on `{}`:\n resident: {:?}\n paged:    {:?}",
+                    gen.sql, resident.rows, paged.rows
+                ));
+            }
+            Ok(())
+        }
+        (Err(r), Err(p)) if r == p => Ok(()),
+        (r, p) => Err(format!(
+            "disk backend disagrees on acceptance of `{}`: resident ok={} paged ok={}",
+            gen.sql,
+            r.is_ok(),
+            p.is_ok()
+        )),
+    }
+}
+
 /// Case-count override: `PROPTEST_CASES` (defaults to 256, the count CI
 /// runs).
 fn cases() -> u32 {
@@ -522,6 +614,13 @@ proptest! {
     #[test]
     fn optimized_executor_agrees_with_naive_oracle(seed in 0u64..u64::MAX / 2) {
         if let Err(msg) = check_case(seed) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+
+    #[test]
+    fn paged_backend_agrees_with_resident(seed in 0u64..u64::MAX / 2) {
+        if let Err(msg) = check_disk_case(seed) {
             prop_assert!(false, "{}", msg);
         }
     }
