@@ -107,9 +107,53 @@ pub fn load_or_generate(cfg: &GenConfig) -> Database {
     }
 }
 
+/// Best-effort reclamation of orphaned `.tmp-*` publication directories:
+/// a crash between `save` and `rename` leaves a `.tmp-<key>-<pid>`
+/// directory that no key ever matches, and nothing else would ever delete
+/// it. A tmp dir is stale — and removed — when its owning process is dead
+/// (the pid parsed from the name no longer exists under `/proc`) or, where
+/// liveness cannot be probed, when it has not been touched for an hour
+/// (no publication takes anywhere near that long). Live publications from
+/// concurrent processes are never touched; neither is anything that does
+/// not carry the `.tmp-` prefix. All failures are swallowed: sweeping is
+/// an opportunistic cleanup, never a correctness dependency.
+fn sweep_stale_tmp_dirs(root: &Path) {
+    const STALE_AFTER: std::time::Duration = std::time::Duration::from_secs(3600);
+    let Ok(entries) = fs::read_dir(root) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if !name.starts_with(".tmp-") {
+            continue;
+        }
+        let stale = match name.rsplit('-').next().and_then(|p| p.parse::<u32>().ok()) {
+            Some(pid) if pid == std::process::id() => false,
+            Some(pid) if Path::new("/proc").is_dir() => {
+                !Path::new("/proc").join(pid.to_string()).exists()
+            }
+            _ => entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| t.elapsed().ok())
+                .is_some_and(|age| age > STALE_AFTER),
+        };
+        if stale {
+            let _ = fs::remove_dir_all(entry.path());
+            eprintln!(
+                "datagen snapshot: reclaimed orphaned {}",
+                entry.path().display()
+            );
+        }
+    }
+}
+
 /// [`load_or_generate`] against an explicit cache root (tests and
 /// harnesses that must not touch the process environment).
 pub fn load_or_generate_in(cfg: &GenConfig, root: &Path) -> Database {
+    sweep_stale_tmp_dirs(root);
     let key = snapshot_key(cfg);
     let dir = root.join(&key);
     if dir.join(MANIFEST_FILE).exists() {
@@ -204,6 +248,44 @@ mod tests {
             assert_eq!(a.schema(), b.schema(), "{name}");
             assert_eq!(a.to_rows(), b.to_rows(), "{name}");
         }
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    /// Regression: a crash between `save` and `rename` used to leave its
+    /// `.tmp-<key>-<pid>` directory behind forever. The sweep must
+    /// reclaim an orphan whose owner is dead, keep a tmp dir owned by a
+    /// live process (here: our own pid), and leave the published
+    /// snapshot untouched.
+    #[test]
+    fn orphaned_tmp_dirs_are_reclaimed_without_disturbing_snapshots() {
+        let root = std::env::temp_dir().join(format!(
+            "etable-snapshot-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        let cfg = GenConfig::small();
+        let generated = load_or_generate_in(&cfg, &root);
+        let key = snapshot_key(&cfg);
+        // A dead owner: pid u32::MAX is far above any real pid_max.
+        let orphan = root.join(format!(".tmp-{key}-{}", u32::MAX));
+        fs::create_dir_all(&orphan).unwrap();
+        fs::write(orphan.join("t0.etb"), b"partial garbage").unwrap();
+        // A live owner (this process) must survive the sweep.
+        let live = root.join(format!(".tmp-{key}-{}", std::process::id()));
+        fs::create_dir_all(&live).unwrap();
+        // Non-tmp entries are never candidates, whatever their name.
+        let bystander = root.join("not-a-tmp-dir");
+        fs::create_dir_all(&bystander).unwrap();
+        let reloaded = load_or_generate_in(&cfg, &root);
+        assert!(!orphan.exists(), "dead-pid orphan not reclaimed");
+        assert!(live.exists(), "live publication dir must not be touched");
+        assert!(bystander.exists(), "non-tmp dir must not be touched");
+        assert!(
+            root.join(&key).join(MANIFEST_FILE).exists(),
+            "published snapshot was disturbed"
+        );
+        assert_eq!(generated.total_rows(), reloaded.total_rows());
         let _ = fs::remove_dir_all(&root);
     }
 

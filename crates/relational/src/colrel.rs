@@ -37,14 +37,16 @@
 //! even a single-column materialized row vector.
 
 use crate::algebra::{resolve_name, AggSpec, RelColumn, Relation, SortKey};
+use crate::exec::budget;
+use crate::exec::hash::KeyHashBuilder;
 use crate::exec::pool::{self, CHUNK_ROWS};
 use crate::exec::pred::CompiledPred;
 use crate::expr::Expr;
+use crate::storage::spill::{self, SpillKey};
 use crate::table::{ColumnData, ColumnStore, Table};
 use crate::value::{DataType, SortCell, Value};
 use crate::{Error, Result};
 use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
 /// The row-id vector of one source table. `Identity` is the unfiltered
@@ -607,48 +609,30 @@ fn cardinality_error() -> Error {
     ))
 }
 
-/// A fast hasher for join keys (`i64` / `u32` column words and [`Value`]
-/// keys): a SplitMix64-style finalizer per word, byte-fold fallback for
-/// anything else. Join keys are attacker-free machine words, so the DoS
-/// resistance of SipHash buys nothing here and its per-hash overhead
-/// dominates small build sides.
-#[derive(Default)]
-struct KeyHasher(u64);
-
-impl Hasher for KeyHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+/// Budget dispatch in front of the build/probe kernel: when the current
+/// memory budget ([`budget::current`], default unlimited) cannot hold the
+/// estimated build-side hash table, the join degrades to the disk-
+/// spilling Grace path ([`spill::grace_join`]), which partitions both
+/// sides to checksummed spill files and joins partition by partition —
+/// emitting the **byte-identical** pair sequence. With no budget set this
+/// is a single branch and the resident kernel runs untouched.
+fn join_positions<K, B, P>(
+    build_n: usize,
+    build_key: B,
+    probe_n: usize,
+    probe_key: P,
+) -> Result<(Vec<u32>, Vec<u32>)>
+where
+    K: SpillKey,
+    B: Fn(usize) -> Option<K>,
+    P: Fn(usize) -> Option<K> + Send + Sync + 'static,
+{
+    if let Some(limit) = budget::current() {
+        if budget::join_build_estimate(build_n, K::KEY_BYTES) > limit {
+            return spill::grace_join(limit, build_n, build_key, probe_n, probe_key);
         }
     }
-
-    #[inline]
-    fn write_u64(&mut self, x: u64) {
-        let mut z = self.0 ^ x;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        self.0 = z ^ (z >> 31);
-    }
-
-    #[inline]
-    fn write_i64(&mut self, x: i64) {
-        self.write_u64(x as u64);
-    }
-
-    #[inline]
-    fn write_u32(&mut self, x: u32) {
-        self.write_u64(u64::from(x));
-    }
-
-    #[inline]
-    fn write_u8(&mut self, x: u8) {
-        self.write_u64(u64::from(x));
-    }
+    join_positions_resident(build_n, build_key, probe_n, probe_key)
 }
 
 /// The build/probe kernel shared by every key type: hashes the build
@@ -665,8 +649,10 @@ impl Hasher for KeyHasher {
 /// The build pass stays sequential on the caller (build sides are the
 /// smaller input and the chained index is inherently serial); only the
 /// probe closure crosses threads, which is why `P` is `'static` and `B`
-/// may borrow.
-fn join_positions<K, B, P>(
+/// may borrow. The spill path re-enters this kernel per partition
+/// (partition records keep original row order, so chain order — and
+/// therefore the emitted pair sequence — is preserved exactly).
+pub(crate) fn join_positions_resident<K, B, P>(
     build_n: usize,
     build_key: B,
     probe_n: usize,
@@ -677,8 +663,8 @@ where
     B: Fn(usize) -> Option<K>,
     P: Fn(usize) -> Option<K> + Send + Sync + 'static,
 {
-    let mut head: HashMap<K, u32, BuildHasherDefault<KeyHasher>> =
-        HashMap::with_capacity_and_hasher(build_n, BuildHasherDefault::default());
+    let mut head: HashMap<K, u32, KeyHashBuilder> =
+        HashMap::with_capacity_and_hasher(build_n, KeyHashBuilder::default());
     let mut next: Vec<u32> = vec![0; build_n];
     for (i, link) in next.iter_mut().enumerate() {
         if let Some(k) = build_key(i) {
@@ -843,6 +829,84 @@ mod tests {
             materialize(&out).rows[0],
             vec![Value::Int(2), Value::Float(2.0)]
         );
+    }
+
+    /// Regression for the float-hash boundary bug: with the old
+    /// `<= i64::MAX as f64` hash guard and widening comparison,
+    /// Float(2^63) compared equal to Int(i64::MAX - 1) but hashed
+    /// differently, so join results depended on hash-table luck. The
+    /// exact comparison admits only true matches: Float(-2^63) is
+    /// i64::MIN, Float(-0.0) is 0, Float(2^63) is beyond every int.
+    #[test]
+    fn boundary_float_keys_join_exactly() {
+        let l = ints(
+            "l",
+            &[Some(i64::MAX), Some(i64::MAX - 1), Some(i64::MIN), Some(0)],
+        );
+        let r = table(
+            "r",
+            vec![Column::nullable("f", DataType::Float)],
+            vec![
+                vec![Value::Float(9_223_372_036_854_775_808.0)],
+                vec![Value::Float(-9_223_372_036_854_775_808.0)],
+                vec![Value::Float(-0.0)],
+            ],
+        );
+        let out = ColRelation::from_table(&l, "l")
+            .hash_join(&ColRelation::from_table(&r, "r"), 0, 0)
+            .unwrap();
+        assert_eq!(
+            sorted_rows(&materialize(&out)),
+            vec![
+                vec![
+                    Value::Int(i64::MIN),
+                    Value::Float(-9_223_372_036_854_775_808.0)
+                ],
+                vec![Value::Int(0), Value::Float(-0.0)],
+            ]
+        );
+    }
+
+    /// The grouped variant of the same regression: 2^63 floats and
+    /// i64::MAX ints are distinct group keys; -0.0/0.0/Int(0) collapse
+    /// into one group on both the columnar and materialized paths.
+    #[test]
+    fn boundary_float_keys_group_exactly() {
+        let t = table(
+            "t",
+            vec![Column::nullable("f", DataType::Float)],
+            vec![
+                vec![Value::Float(9_223_372_036_854_775_808.0)],
+                vec![Value::Float(9_223_372_036_854_774_784.0)], // 2^63 - 1024
+                vec![Value::Float(-0.0)],
+                vec![Value::Float(0.0)],
+                vec![Value::Float(9_223_372_036_854_775_808.0)],
+            ],
+        );
+        let rel = ColRelation::from_table(&t, "t");
+        let aggs = [AggSpec::new(AggFunc::Count, None, "n")];
+        let grouped = rel.group_by(&[0], &aggs).unwrap();
+        assert_eq!(grouped.rows.len(), 3, "rows: {:?}", grouped.rows);
+        let reference = materialize(&rel).group_by(&[0], &aggs).unwrap();
+        assert_eq!(sorted_rows(&grouped), sorted_rows(&reference));
+    }
+
+    /// A tiny budget forces every typed join arm (INT, TEXT, `Value`)
+    /// through the Grace spill path; the composed relation must
+    /// materialize identically — same rows, same order.
+    #[test]
+    fn spilled_hash_join_materializes_identically() {
+        use crate::exec::budget::with_budget;
+        let l = ints("l", &[Some(1), Some(2), None, Some(2), Some(7), Some(2)]);
+        let r = ints("r", &[Some(2), None, Some(2), Some(1), Some(8)]);
+        let resident = ColRelation::from_table(&l, "l")
+            .hash_join(&ColRelation::from_table(&r, "r"), 0, 0)
+            .unwrap();
+        let spilled = with_budget(Some(1), || {
+            ColRelation::from_table(&l, "l").hash_join(&ColRelation::from_table(&r, "r"), 0, 0)
+        })
+        .unwrap();
+        assert_eq!(materialize(&spilled).rows, materialize(&resident).rows);
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! The join-key hasher shared by the in-memory hash join
+//! ([`crate::colrel`]) and the disk-spilling partitioner
+//! ([`crate::storage::spill`]).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A fast hasher for join keys (`i64` / `u32` column words and
+/// [`crate::value::Value`] keys): a SplitMix64-style finalizer per word,
+/// byte-fold fallback for anything else. Join keys are attacker-free
+/// machine words, so the DoS resistance of SipHash buys nothing here and
+/// its per-hash overhead dominates small build sides.
+#[derive(Default)]
+pub(crate) struct KeyHasher(u64);
+
+/// `BuildHasher` plumbing for `HashMap`s keyed by join keys.
+pub(crate) type KeyHashBuilder = BuildHasherDefault<KeyHasher>;
+
+impl Hasher for KeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        let mut z = self.0 ^ x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, x: i64) {
+        self.write_u64(x as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, x: u32) {
+        self.write_u64(u64::from(x));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, x: u8) {
+        self.write_u64(u64::from(x));
+    }
+}

@@ -1,6 +1,6 @@
 //! Morsel-driven execution infrastructure shared by the columnar executor.
 //!
-//! Two pieces live here:
+//! Four pieces live here:
 //!
 //! * [`pool`] — one lazily-started persistent worker pool that serves every
 //!   data-parallel kernel (filtered scans, the hash-join probe loop, grouped
@@ -9,5 +9,12 @@
 //! * [`pred`] — dictionary-encoded predicate compilation: LIKE/equality/IN
 //!   over interned text columns evaluate once per *distinct symbol* against
 //!   the interner arena (a membership bitmap) instead of once per row.
+//! * [`budget`] — the execution memory budget (`ETABLE_MEM_BUDGET`) that
+//!   decides when a hash join degrades to the disk-spilling Grace path
+//!   ([`crate::storage::spill`]).
+//! * [`hash`] — the join-key hasher shared by the in-memory join and the
+//!   spill partitioner.
+pub mod budget;
+pub(crate) mod hash;
 pub mod pool;
 pub mod pred;

@@ -9,7 +9,10 @@
 //! concatenated in chunk order, so the merged result — and the first error,
 //! which is always the lowest-numbered failing chunk, every chunk below it
 //! having completed successfully — is byte-identical to a sequential run at
-//! any pool size.
+//! any pool size. The disk-spilling Grace join
+//! ([`crate::storage::spill`]) re-enters this probe kernel once per
+//! partition; that per-chunk determinism is what lets a spilled join
+//! promise byte-identical output at any pool size too.
 //!
 //! The pool is lazily started: no thread is spawned until the first
 //! parallel run. Worker threads are detached and live for the rest of the

@@ -126,6 +126,16 @@ impl PayloadWriter {
         self.buf
     }
 
+    /// Bytes written so far (spill writers use this to bound batch sizes).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True iff nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
     /// Appends a raw byte.
     pub fn u8(&mut self, v: u8) {
         self.buf.push(v);

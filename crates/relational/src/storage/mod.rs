@@ -24,6 +24,7 @@
 pub mod codec;
 pub mod format;
 pub mod paged;
+pub mod spill;
 
 pub use format::{FORMAT_VERSION, MANIFEST_FILE};
 

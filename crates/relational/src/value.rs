@@ -14,6 +14,57 @@ use crate::intern::Sym;
 use std::cmp::Ordering;
 use std::fmt;
 
+/// 2^63 as an `f64` (exactly representable). Note `i64::MAX as f64` rounds
+/// *up* to this value, so int/float boundary checks must compare against
+/// 2^63 with a strict `<`, never against `i64::MAX as f64` with `<=`.
+const TWO_POW_63: f64 = 9_223_372_036_854_775_808.0;
+
+/// Compares an `i64` against an `f64` exactly, never widening the int to
+/// `f64`: `a as f64` rounds for |a| > 2^53, which made distinct keys such
+/// as `i64::MAX - 1` and `9223372036854775808.0` compare equal while
+/// hashing differently. Floats at or beyond ±2^63 are strictly outside the
+/// `i64` range; below that, `b.trunc()` converts to `i64` without loss and
+/// any fractional remainder breaks the tie in `b`'s favor. `None` iff `b`
+/// is NaN.
+fn int_float_cmp(a: i64, b: f64) -> Option<Ordering> {
+    if b.is_nan() {
+        return None;
+    }
+    if b >= TWO_POW_63 {
+        return Some(Ordering::Less);
+    }
+    if b < -TWO_POW_63 {
+        return Some(Ordering::Greater);
+    }
+    let t = b.trunc();
+    let ti = t as i64; // exact: t is integral and in [-2^63, 2^63)
+    Some(match a.cmp(&ti) {
+        Ordering::Equal if b == t => Ordering::Equal,
+        // a == trunc(b) but b has a fractional part: trunc moves toward
+        // zero, so b sits strictly above t when positive, below when
+        // negative.
+        Ordering::Equal => {
+            if b > t {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            }
+        }
+        o => o,
+    })
+}
+
+/// [`int_float_cmp`] extended to a total order for sort/group keys: NaN
+/// sorts the way `f64::total_cmp` places it relative to every finite
+/// value — negative NaNs below all ints, positive NaNs above.
+fn int_float_total_cmp(a: i64, b: f64) -> Ordering {
+    match int_float_cmp(a, b) {
+        Some(o) => o,
+        None if b.is_sign_negative() => Ordering::Greater,
+        None => Ordering::Less,
+    }
+}
+
 /// The declared type of a column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
@@ -134,8 +185,8 @@ impl Value {
             (Value::Null, _) | (_, Value::Null) => None,
             (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
             (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
-            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
-            (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::Int(a), Value::Float(b)) => int_float_cmp(*a, *b),
+            (Value::Float(a), Value::Int(b)) => int_float_cmp(*b, *a).map(Ordering::reverse),
             (Value::Text(a), Value::Text(b)) => Some(Sym::cmp_str(*a, *b)),
             (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
             _ => None,
@@ -168,9 +219,20 @@ impl Value {
         match (self, other) {
             (Value::Null, Value::Null) => Ordering::Equal,
             (Value::Int(a), Value::Int(b)) => a.cmp(b),
-            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
-            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
-            (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
+            // `-0.0` and `0.0` must be one key: both equal `Int(0)` under
+            // the exact cross-type comparison below, so keeping
+            // `f64::total_cmp`'s `-0.0 < 0.0` split would break Eq
+            // transitivity (and diverge from `sql_eq`, which the naive
+            // oracle uses for join edges).
+            (Value::Float(a), Value::Float(b)) => {
+                if a == b {
+                    Ordering::Equal
+                } else {
+                    a.total_cmp(b)
+                }
+            }
+            (Value::Int(a), Value::Float(b)) => int_float_total_cmp(*a, *b),
+            (Value::Float(a), Value::Int(b)) => int_float_total_cmp(*b, *a).reverse(),
             (Value::Text(a), Value::Text(b)) => Sym::cmp_str(*a, *b),
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
             _ => rank(self).cmp(&rank(other)),
@@ -261,7 +323,13 @@ impl std::hash::Hash for Value {
                 i.hash(state);
             }
             Value::Float(f) => {
-                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
+                // Integral floats in the exact i64 range hash as their
+                // integer value (this also folds -0.0 onto Int(0)'s hash).
+                // The upper bound is a strict `< 2^63`: `i64::MAX as f64`
+                // rounds up to 2^63, so a `<=` guard let Float(2^63) hash
+                // as i64::MAX (saturating cast) while not comparing equal
+                // to Int(i64::MAX) — a hash/eq inconsistency.
+                if f.fract() == 0.0 && *f >= -TWO_POW_63 && *f < TWO_POW_63 {
                     1u8.hash(state);
                     (*f as i64).hash(state);
                 } else {
@@ -388,6 +456,98 @@ mod tests {
             Value::text("value-test-same"),
             Value::text("value-test-other")
         );
+    }
+
+    /// Regression: `i64::MAX as f64` rounds up to 2^63, so the old hash
+    /// guard (`<= i64::MAX as f64`) admitted Float(2^63), which then
+    /// hashed as i64::MAX via the saturating cast. Combined with the old
+    /// widening comparison (`a as f64`), Float(2^63) compared *equal* to
+    /// Int(i64::MAX - 1) while hashing differently — a hash/eq
+    /// inconsistency that corrupts hash-join and group-by keying.
+    #[test]
+    fn boundary_floats_do_not_collide_with_extreme_ints() {
+        let two63 = Value::Float(9_223_372_036_854_775_808.0);
+        // 2^63 is strictly greater than every i64.
+        assert_ne!(two63, Value::Int(i64::MAX));
+        assert_ne!(two63, Value::Int(i64::MAX - 1));
+        assert_eq!(
+            two63.sql_cmp(&Value::Int(i64::MAX)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(Value::Int(i64::MAX).total_cmp(&two63), Ordering::Less);
+        // 2^63 must take the raw-bits hash path, not the integral path.
+        assert_ne!(hash_of(&two63), hash_of(&Value::Int(i64::MAX)));
+        // -2^63 is exactly i64::MIN: equal, and hashed identically.
+        let neg_two63 = Value::Float(-9_223_372_036_854_775_808.0);
+        assert_eq!(neg_two63, Value::Int(i64::MIN));
+        assert_eq!(hash_of(&neg_two63), hash_of(&Value::Int(i64::MIN)));
+        // The largest integral float below 2^63 still matches its int.
+        let below = 9_223_372_036_854_774_784i64; // 2^63 - 1024
+        assert_eq!(Value::Float(below as f64), Value::Int(below));
+        assert_eq!(
+            hash_of(&Value::Float(below as f64)),
+            hash_of(&Value::Int(below))
+        );
+        assert_ne!(Value::Float(below as f64), Value::Int(i64::MAX));
+    }
+
+    /// Int/float comparison is exact: the int side is never rounded
+    /// through `f64`. Under the old widening rule both assertions below
+    /// reported `Equal`.
+    #[test]
+    fn int_float_comparison_is_exact_near_two_pow_63() {
+        let two63 = Value::Float(9_223_372_036_854_775_808.0);
+        assert_eq!(
+            Value::Int(i64::MAX - 1).sql_cmp(&two63),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Int(i64::MAX).sql_cmp(&two63), Some(Ordering::Less));
+        // Fractional tie-break around an exact integer.
+        assert_eq!(
+            Value::Int(3).sql_cmp(&Value::Float(3.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(-3).sql_cmp(&Value::Float(-3.5)),
+            Some(Ordering::Greater)
+        );
+        // Infinities sit outside every int.
+        assert_eq!(
+            Value::Int(i64::MAX).sql_cmp(&Value::Float(f64::INFINITY)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(i64::MIN).sql_cmp(&Value::Float(f64::NEG_INFINITY)),
+            Some(Ordering::Greater)
+        );
+    }
+
+    /// `-0.0`, `0.0` and `Int(0)` are one equivalence class (keeps Eq
+    /// transitive given the exact int/float comparison) with one hash.
+    #[test]
+    fn negative_zero_is_zero() {
+        assert_eq!(Value::Float(-0.0), Value::Float(0.0));
+        assert_eq!(Value::Float(-0.0), Value::Int(0));
+        assert_eq!(
+            Value::Float(-0.0).total_cmp(&Value::Float(0.0)),
+            Ordering::Equal
+        );
+        assert_eq!(Value::Float(-0.0).sql_eq(&Value::Float(0.0)), Some(true));
+        assert_eq!(hash_of(&Value::Float(-0.0)), hash_of(&Value::Float(0.0)));
+        assert_eq!(hash_of(&Value::Float(-0.0)), hash_of(&Value::Int(0)));
+    }
+
+    /// NaN keeps its `f64::total_cmp` placement against ints: negative
+    /// NaN below every int, positive NaN above — and stays UNKNOWN under
+    /// SQL comparison.
+    #[test]
+    fn nan_total_order_against_ints() {
+        let pnan = Value::Float(f64::NAN);
+        let nnan = Value::Float(-f64::NAN);
+        assert_eq!(Value::Int(i64::MAX).total_cmp(&pnan), Ordering::Less);
+        assert_eq!(Value::Int(i64::MIN).total_cmp(&nnan), Ordering::Greater);
+        assert_eq!(pnan.total_cmp(&Value::Int(0)), Ordering::Greater);
+        assert_eq!(pnan.sql_cmp(&Value::Int(0)), None);
     }
 
     #[test]

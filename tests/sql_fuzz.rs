@@ -35,14 +35,34 @@
 //! accumulator is exact there, so the two engines' different evaluation
 //! orders cannot produce last-ulp float divergence.
 //!
+//! **Adversarial numerics**: `s.big` (INT) and `t.wide` (FLOAT) carry
+//! boundary values — `i64::MIN`/`i64::MAX`, floats at exactly ±2^63 (where
+//! `i64::MAX as f64` rounds up), the largest double *below* 2^63, and
+//! `-0.0` — and a dedicated join shape equates them (`s.big = t.wide`), so
+//! every case stream exercises the exact int↔float comparison and the
+//! hash/eq consistency of boundary keys. These columns stay out of the
+//! SUM/AVG pools on purpose: the oracle accumulates in f64 and near-2^63
+//! sums would diverge by evaluation order, which is not the property under
+//! test. Overflow literals like `1e999` are lexer-rejected and covered by
+//! an explicit rejection test.
+//!
 //! **Disk leg**: `paged_backend_agrees_with_resident` replays the same
 //! case grammar against a saved-and-reopened database (the paged
 //! `ColumnStore` backend behind `Database::save`/`Database::open`),
 //! asserting byte-identical rows vs the resident backend and
 //! byte-identical re-saves. It rides every `--test sql_fuzz` invocation,
 //! including the nightly deep-verify matrix.
+//!
+//! **Spill leg**: `spilled_join_agrees_with_in_memory` runs the same case
+//! under memory budgets of 1, 64 and 4096 bytes (every nonempty join
+//! spills at budget 1) and demands the row *sequence* — not just the bag —
+//! be identical to the unlimited-budget run, then checks this process left
+//! no spill files behind. With `ETABLE_MEM_BUDGET` set (the nightly
+//! tiny-budget matrix leg), the other legs' unoverridden queries spill
+//! too, differentially checked against the naive oracle as usual.
 
 use etable_repro::relational::database::Database;
+use etable_repro::relational::exec::budget;
 use etable_repro::relational::sql::naive::execute_query_naive;
 use etable_repro::relational::sql::{execute, executor::execute_query, parse_statement, Statement};
 use etable_repro::relational::value::Value;
@@ -59,11 +79,29 @@ const WORDS: &[&str] = &[
     "pear", "Apple", "fig", "apple", "banana", "", "zz", "kiwi", "Fig",
 ];
 
+/// Boundary ints for `s.big`: the extremes, their neighbours (which f64
+/// cannot distinguish from the extremes), and small values that collide
+/// with `t.wide`'s small floats.
+const BIG_INTS: &[i64] = &[i64::MIN, i64::MIN + 1, i64::MAX, i64::MAX - 1, 0, 1, -1];
+
+/// Boundary floats for `t.wide`: exactly ±2^63 (`i64::MAX as f64` rounds
+/// *up* to 2^63, the historical hash/eq bug), the largest double below
+/// 2^63, negative zero, and small values shared with `BIG_INTS`.
+const WIDE_FLOATS: &[f64] = &[
+    9_223_372_036_854_775_808.0,  // 2^63: > every i64
+    -9_223_372_036_854_775_808.0, // -2^63 == i64::MIN exactly
+    9_223_372_036_854_774_784.0,  // largest f64 < 2^63
+    -0.0,
+    0.0,
+    1.0,
+    -1.0,
+];
+
 fn random_db(rng: &mut StdRng) -> Database {
     let mut db = Database::new();
     for stmt in [
-        "CREATE TABLE s (id INT PRIMARY KEY, g INT NOT NULL, txt TEXT, num INT, fl FLOAT)",
-        "CREATE TABLE t (id INT PRIMARY KEY, s_id INT NOT NULL, w INT, lbl TEXT)",
+        "CREATE TABLE s (id INT PRIMARY KEY, g INT NOT NULL, txt TEXT, num INT, fl FLOAT, big INT)",
+        "CREATE TABLE t (id INT PRIMARY KEY, s_id INT NOT NULL, w INT, lbl TEXT, wide FLOAT)",
         "CREATE TABLE u (id INT PRIMARY KEY, v TEXT)",
     ] {
         execute(&mut db, stmt).unwrap();
@@ -95,9 +133,14 @@ fn random_db(rng: &mut StdRng) -> Database {
         } else {
             (rng.gen_range(-40..40i64) as f64 * 0.5).into()
         };
+        let big: Value = if rng.gen_range(0..4) == 0 {
+            Value::Null
+        } else {
+            BIG_INTS[rng.gen_range(0..BIG_INTS.len())].into()
+        };
         db.insert(
             "s",
-            vec![id.into(), rng.gen_range(0..3i64).into(), txt, num, fl],
+            vec![id.into(), rng.gen_range(0..3i64).into(), txt, num, fl, big],
         )
         .unwrap();
     }
@@ -109,7 +152,12 @@ fn random_db(rng: &mut StdRng) -> Database {
         } else {
             rng.gen_range(0..6i64).into()
         };
-        db.insert("t", vec![id.into(), s_id.into(), w, word(rng)])
+        let wide: Value = if rng.gen_range(0..4) == 0 {
+            Value::Null
+        } else {
+            WIDE_FLOATS[rng.gen_range(0..WIDE_FLOATS.len())].into()
+        };
+        db.insert("t", vec![id.into(), s_id.into(), w, word(rng), wide])
             .unwrap();
     }
     for id in 0..rng.gen_range(0..=5i64) {
@@ -143,24 +191,25 @@ fn gen_query(rng: &mut StdRng) -> GenQuery {
     // 3-table joins, plus a text-keyed equi-join (interned-symbol keys
     // with NULLs on both sides) and a disconnected FROM pair that forces
     // the cross-product kernel.
-    let shape = rng.gen_range(0..9);
+    let shape = rng.gen_range(0..10);
     let (from, join_preds): (&str, Vec<&str>) = match shape {
         0 => ("s", vec![]),
         1 => ("t", vec![]),
         2 => ("s, t", vec!["s.id = t.s_id"]),
         3 => ("s JOIN t ON s.id = t.s_id", vec![]),
-        4 => ("s, u", vec![]),                // no edge: cross product
-        5 => ("s, t", vec!["s.txt = t.lbl"]), // text keys, NULLs never match
+        4 => ("s, u", vec![]),                 // no edge: cross product
+        5 => ("s, t", vec!["s.txt = t.lbl"]),  // text keys, NULLs never match
+        9 => ("s, t", vec!["s.big = t.wide"]), // int↔float boundary keys
         _ => ("s, t, u", vec!["s.id = t.s_id", "t.w = u.id"]),
     };
     let has_s = shape != 1;
     let has_t = shape == 1 || shape == 2 || shape == 3 || shape == 5 || shape >= 6;
-    let has_u = shape == 4 || shape >= 6;
+    let has_u = shape == 4 || (6..=8).contains(&shape);
 
     // WHERE menu.
     let mut preds: Vec<String> = join_preds.iter().map(|p| p.to_string()).collect();
     for _ in 0..rng.gen_range(0..3) {
-        let pick = rng.gen_range(0..10);
+        let pick = rng.gen_range(0..14);
         let p = match pick {
             0 if has_s => format!("s.num >= {}", rng.gen_range(-50..50)),
             1 if has_s => format!(
@@ -178,6 +227,19 @@ fn gen_query(rng: &mut StdRng) -> GenQuery {
                 rng.gen_range(0..6)
             ),
             8 if has_s => format!("NOT (s.g = {})", rng.gen_range(0..3)),
+            // Boundary literals: i64 extremes parse exactly; the float
+            // literal at 2^63 against an INT column is the historical
+            // rounding trap (`i64::MAX as f64` == 2^63).
+            9 if has_s => format!(
+                "s.big > {}",
+                ["-9223372036854775808", "9223372036854775806", "0"][rng.gen_range(0..3)]
+            ),
+            10 if has_s => "s.big = 9223372036854775808.0".to_string(),
+            11 if has_t => format!(
+                "t.wide >= {}",
+                ["9223372036854775808.0", "-9223372036854775808.0", "-0.0"][rng.gen_range(0..3)]
+            ),
+            12 if has_t => "t.wide <> -0.0".to_string(),
             _ if has_t => format!("t.lbl <> '{}'", WORDS[rng.gen_range(0..WORDS.len())]),
             _ => format!("s.g <= {}", rng.gen_range(0..3)),
         };
@@ -194,10 +256,10 @@ fn gen_query(rng: &mut StdRng) -> GenQuery {
         // Group keys drawn from the available tables.
         let mut key_pool: Vec<&str> = Vec::new();
         if has_s {
-            key_pool.extend(["s.g", "s.txt"]);
+            key_pool.extend(["s.g", "s.txt", "s.big"]);
         }
         if has_t {
-            key_pool.extend(["t.lbl", "t.w"]);
+            key_pool.extend(["t.lbl", "t.w", "t.wide"]);
         }
         if has_u {
             key_pool.push("u.v");
@@ -211,7 +273,9 @@ fn gen_query(rng: &mut StdRng) -> GenQuery {
             }
         }
         // Aggregates; SUM/AVG restricted to small-int columns (exact in
-        // f64, so evaluation order cannot matter).
+        // f64, so evaluation order cannot matter). The boundary columns
+        // get MIN/MAX/COUNT only — comparisons are exact at any magnitude,
+        // sums near 2^63 are not.
         let mut agg_pool: Vec<&str> = vec!["COUNT(*)"];
         if has_s {
             agg_pool.extend([
@@ -222,10 +286,19 @@ fn gen_query(rng: &mut StdRng) -> GenQuery {
                 "MAX(s.txt)",
                 "MIN(s.fl)",
                 "MAX(s.num)",
+                "MAX(s.big)",
+                "MIN(s.big)",
             ]);
         }
         if has_t {
-            agg_pool.extend(["SUM(t.w)", "AVG(t.w)", "MAX(t.lbl)", "COUNT(t.w)"]);
+            agg_pool.extend([
+                "SUM(t.w)",
+                "AVG(t.w)",
+                "MAX(t.lbl)",
+                "COUNT(t.w)",
+                "MIN(t.wide)",
+                "MAX(t.wide)",
+            ]);
         }
         if has_u {
             agg_pool.push("MIN(u.v)");
@@ -259,10 +332,10 @@ fn gen_query(rng: &mut StdRng) -> GenQuery {
     } else {
         let mut col_pool: Vec<&str> = Vec::new();
         if has_s {
-            col_pool.extend(["s.id", "s.g", "s.txt", "s.num", "s.fl"]);
+            col_pool.extend(["s.id", "s.g", "s.txt", "s.num", "s.fl", "s.big"]);
         }
         if has_t {
-            col_pool.extend(["t.id", "t.w", "t.lbl"]);
+            col_pool.extend(["t.id", "t.w", "t.lbl", "t.wide"]);
         }
         if has_u {
             col_pool.extend(["u.id", "u.v"]);
@@ -599,6 +672,73 @@ fn disk_case_on(
     }
 }
 
+/// Spill leg: the same case grammar, executed under tiny memory budgets.
+/// Budget 1 is below one hash-table entry, so every nonempty join takes
+/// the Grace disk path (partitioning, recursive re-partitioning, the sort
+/// fallback); 64 and 4096 spill only larger builds, covering the mixed
+/// resident/spilled regime. The row **sequence** must be identical to the
+/// unlimited-budget run at every budget — byte-identity is the spilled
+/// join's contract, not mere bag equality — and rejections must carry the
+/// same error. Afterwards no spill directory of this process may remain.
+fn check_spill_case(seed: u64) -> std::result::Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = random_db(&mut rng);
+    let gen = gen_query(&mut rng);
+    let q = match parse_statement(&gen.sql) {
+        Ok(Statement::Select(q)) => q,
+        other => {
+            return Err(format!(
+                "generated SQL failed to parse: {other:?}: {}",
+                gen.sql
+            ))
+        }
+    };
+    let unlimited = budget::with_budget(None, || execute_query(&db, &q));
+    for limit in [1u64, 64, 4096] {
+        let spilled = budget::with_budget(Some(limit), || execute_query(&db, &q));
+        match (&unlimited, &spilled) {
+            (Ok(a), Ok(b)) => {
+                if a.rows != b.rows {
+                    return Err(format!(
+                        "budget {limit} changed the row sequence of `{}`:\n unlimited: {:?}\n spilled:   {:?}",
+                        gen.sql, a.rows, b.rows
+                    ));
+                }
+            }
+            (Err(a), Err(b)) if a == b => {}
+            (a, b) => {
+                return Err(format!(
+                    "budget {limit} changed acceptance of `{}`: unlimited ok={} spilled ok={}",
+                    gen.sql,
+                    a.is_ok(),
+                    b.is_ok()
+                ))
+            }
+        }
+    }
+    // Spill directories are removed when their join finishes, on this
+    // thread, so none of ours may survive the calls above. Only enforce it
+    // when the environment budget is unlimited: under the nightly
+    // `ETABLE_MEM_BUDGET` matrix leg the *other* fuzz legs spill
+    // concurrently in this process and legitimately hold live spill dirs.
+    if budget::env_budget().is_none() {
+        let root = std::env::temp_dir().join("etable-spill");
+        let mine = format!("{}-", std::process::id());
+        if let Ok(entries) = std::fs::read_dir(&root) {
+            for entry in entries.flatten() {
+                if entry.file_name().to_string_lossy().starts_with(&mine) {
+                    return Err(format!(
+                        "leftover spill dir after `{}`: {}",
+                        gen.sql,
+                        entry.path().display()
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Case-count override: `PROPTEST_CASES` (defaults to 256, the count CI
 /// runs).
 fn cases() -> u32 {
@@ -624,6 +764,13 @@ proptest! {
             prop_assert!(false, "{}", msg);
         }
     }
+
+    #[test]
+    fn spilled_join_agrees_with_in_memory(seed in 0u64..u64::MAX / 2) {
+        if let Err(msg) = check_spill_case(seed) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
 }
 
 /// A handful of grammar corners replayed explicitly (fast to eyeball when
@@ -636,6 +783,8 @@ fn fuzzer_grammar_smoke() {
     let mut three_way = 0usize;
     let mut seen_text_join = false;
     let mut seen_cross = false;
+    let mut seen_boundary_join = false;
+    let mut seen_boundary_where = false;
     for seed in 0..200u64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let _db = random_db(&mut rng);
@@ -646,6 +795,10 @@ fn fuzzer_grammar_smoke() {
         three_way += gen.sql.contains("FROM s, t, u") as usize;
         seen_text_join |= gen.sql.contains("s.txt = t.lbl");
         seen_cross |= gen.sql.contains("FROM s, u");
+        seen_boundary_join |= gen.sql.contains("s.big = t.wide");
+        seen_boundary_where |= gen.sql.contains("9223372036854775808.0")
+            || gen.sql.contains("-9223372036854775808")
+            || gen.sql.contains("-0.0");
         assert!(
             parse_statement(&gen.sql).is_ok(),
             "generated SQL must parse: {}",
@@ -654,9 +807,37 @@ fn fuzzer_grammar_smoke() {
     }
     assert!(seen_grouped && seen_total_order && seen_limit);
     assert!(seen_text_join && seen_cross);
+    assert!(seen_boundary_join, "no s.big = t.wide join in 200 cases");
+    assert!(
+        seen_boundary_where,
+        "no boundary WHERE literal in 200 cases"
+    );
     // 3-table joins must be load-bearing, not incidental: a third of the
     // grammar's FROM shapes, so ~50+ of 200 cases.
     assert!(three_way >= 40, "only {three_way}/200 3-table join cases");
+}
+
+/// Overflow literals must be rejected outright — never silently become
+/// ±inf or a clamped int: `1e999` overflows f64 and the lexer refuses
+/// non-finite floats; `9223372036854775808` overflows i64 (that value is
+/// only reachable as a float literal). The exact boundary values the
+/// fuzzer uses stay reachable.
+#[test]
+fn overflow_literals_are_rejected() {
+    for sql in [
+        "SELECT s.id FROM s WHERE s.fl < 1e999",
+        "SELECT s.id FROM s WHERE s.fl > -1e999",
+        "SELECT s.id FROM s WHERE s.big < 9223372036854775808",
+    ] {
+        assert!(parse_statement(sql).is_err(), "must reject: {sql}");
+    }
+    for sql in [
+        "SELECT s.id FROM s WHERE s.big = -9223372036854775808",
+        "SELECT s.id FROM s WHERE s.big = 9223372036854775807",
+        "SELECT s.id FROM s WHERE s.big = 9223372036854775808.0",
+    ] {
+        assert!(parse_statement(sql).is_ok(), "must parse: {sql}");
+    }
 }
 
 /// Every ill-formed shape, replayed explicitly: parses, is rejected by
