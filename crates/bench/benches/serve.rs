@@ -1,0 +1,90 @@
+//! Serving-layer benchmarks: wire round-trip latency against an
+//! in-process `etable-server`, alone and under concurrent load.
+//!
+//! The iteration-time distributions are the latency distributions the
+//! serving layer promises: `roundtrip_*_x32` medians are 32x the idle
+//! p50 per query shape, and `under_load_8_x32` samples one client's
+//! round-trip batches while seven background clients hammer the same
+//! server, so its median and max track p50/p99 under concurrency. All
+//! three feed the `BENCH_baseline.json` regression gate as the `serve`
+//! family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etable_datagen::GenConfig;
+use etable_relational::shared::SharedDatabase;
+use etable_server::{Client, Server};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const COUNT_SQL: &str = "SELECT COUNT(*) FROM Papers";
+const JOIN_SQL: &str = "SELECT a.name, COUNT(*) AS n FROM Authors a, Paper_Authors pa \
+                        WHERE a.id = pa.author_id GROUP BY a.name \
+                        ORDER BY n DESC, a.name LIMIT 10";
+
+fn bench_serve(c: &mut Criterion) {
+    etable_bench::pin_scan_pool();
+    let (db, tgdb) = etable_bench::dataset(&GenConfig::small().with_papers(1000));
+    let server =
+        Server::start("127.0.0.1:0", SharedDatabase::new(db), tgdb).expect("ephemeral bind");
+    let addr = server.addr().to_string();
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(30);
+
+    // Idle round-trip latency: encode + frame + execute + frame + decode.
+    // Each iteration is a batch of round-trips: single wire trips sit in
+    // the tens of microseconds, where scheduler jitter alone would trip
+    // the ±25% regression gate.
+    const BATCH: usize = 32;
+    let mut client = Client::connect(addr.as_str()).expect("connect");
+    group.bench_function("roundtrip_count_x32", |b| {
+        b.iter(|| {
+            (0..BATCH)
+                .map(|_| client.query(COUNT_SQL).expect("count query").rows.len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("roundtrip_join_x32", |b| {
+        b.iter(|| {
+            (0..BATCH)
+                .map(|_| client.query(JOIN_SQL).expect("join query").rows.len())
+                .sum::<usize>()
+        })
+    });
+
+    // One measured client among eight: seven background clients issue the
+    // join continuously, so these samples are per-query latency under
+    // sustained concurrency (median ~ p50, max ~ tail).
+    let stop = Arc::new(AtomicBool::new(false));
+    let background: Vec<_> = (0..7)
+        .map(|_| {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr.as_str()).expect("bg connect");
+                while !stop.load(Ordering::Relaxed) {
+                    c.query(JOIN_SQL).expect("bg query");
+                }
+                let _ = c.quit();
+            })
+        })
+        .collect();
+    group.bench_function("under_load_8_x32", |b| {
+        b.iter(|| {
+            (0..BATCH)
+                .map(|_| client.query(JOIN_SQL).expect("loaded query").rows.len())
+                .sum::<usize>()
+        })
+    });
+    stop.store(true, Ordering::Relaxed);
+    for h in background {
+        h.join().expect("background client");
+    }
+    group.finish();
+
+    client.quit().expect("goodbye");
+    server.shutdown().expect("clean shutdown");
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -10,7 +10,7 @@ use etable_relational::expr::CmpOp;
 
 fn main() {
     let (_, tgdb) = etable_bench::dataset(&etable_bench::scale_from_env());
-    let mut session = Session::new(&tgdb);
+    let mut session = Session::new(tgdb.clone());
 
     // Figure 1 filters papers by *keyword*, a neighbor label, which the
     // interface translates into a subquery (§6.1).

@@ -13,7 +13,7 @@ fn main() {
     };
 
     // Start from the Papers table, as in the figure.
-    let mut base = Session::new(&tgdb);
+    let mut base = Session::new(tgdb.clone());
     base.open_by_name("Papers").expect("open Papers");
     let papers_table = base.etable().expect("papers table");
     let (papers_ty, _) = tgdb.schema.node_type_by_name("Papers").expect("Papers");
@@ -27,21 +27,21 @@ fn main() {
     println!("Starting table: Papers ({} rows)\n", papers_table.len());
 
     // (a) Click an author's name -> single-row Authors table.
-    let mut a = Session::new(&tgdb);
+    let mut a = Session::new(tgdb.clone());
     a.open_by_name("Papers").unwrap();
     a.single(first_author.node).expect("click reference");
     println!("(a) Click reference '{}':", first_author.label);
     println!("{}", render_etable(&a.etable().unwrap(), &opts));
 
     // (b) Click the author count -> all authors of that paper.
-    let mut b = Session::new(&tgdb);
+    let mut b = Session::new(tgdb.clone());
     b.open_by_name("Papers").unwrap();
     b.seeall(usable, "Authors").expect("click count");
     println!("(b) Click author count of 'Making database systems usable':");
     println!("{}", render_etable(&b.etable().unwrap(), &opts));
 
     // (c) Click the pivot button -> all authors across all rows.
-    let mut c = Session::new(&tgdb);
+    let mut c = Session::new(tgdb.clone());
     c.open_by_name("Papers").unwrap();
     c.pivot("Authors").expect("pivot");
     c.sort("Papers", true);

@@ -50,7 +50,7 @@ fn main() {
     show(&tgdb, "P8", "Shift(\"Authors\")", &q);
 
     println!("\n== Figure 7 (right): the same query through user actions ==\n");
-    let mut s = Session::new(&tgdb);
+    let mut s = Session::new(tgdb.clone());
     s.open_by_name("Conferences").unwrap(); // U1
     println!("U1: Open(\"Conferences\")");
     let t = s.etable().unwrap();

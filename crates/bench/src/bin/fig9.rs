@@ -9,7 +9,7 @@ use etable_relational::expr::CmpOp;
 
 fn main() {
     let (_, tgdb) = etable_bench::default_dataset();
-    let mut session = Session::new(&tgdb);
+    let mut session = Session::new(tgdb.clone());
     session.open_by_name("Conferences").expect("open");
     session
         .filter(NodeFilter::cmp("acronym", CmpOp::Eq, "SIGMOD"))

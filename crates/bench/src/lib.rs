@@ -13,9 +13,10 @@
 use etable_datagen::{load_or_generate, GenConfig};
 use etable_relational::database::Database;
 use etable_tgm::{translate, Tgdb, TranslateOptions};
+use std::sync::Arc;
 
 /// Builds the default evaluation dataset (medium scale) and its TGDB.
-pub fn default_dataset() -> (Database, Tgdb) {
+pub fn default_dataset() -> (Database, Arc<Tgdb>) {
     dataset(&GenConfig::medium())
 }
 
@@ -50,10 +51,10 @@ pub fn pin_scan_pool() {
 /// loads through the datagen snapshot cache (first run generates and
 /// saves; later runs open the binary snapshot — `ETABLE_SNAPSHOT=off`
 /// restores plain generation for generator-sensitive measurements).
-pub fn dataset(cfg: &GenConfig) -> (Database, Tgdb) {
+pub fn dataset(cfg: &GenConfig) -> (Database, Arc<Tgdb>) {
     let db = load_or_generate(cfg);
     let tgdb = translate(&db, &TranslateOptions::default()).expect("translation succeeds");
-    (db, tgdb)
+    (db, Arc::new(tgdb))
 }
 
 /// Reads `ETABLE_SCALE` (number of papers) from the environment, defaulting

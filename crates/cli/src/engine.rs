@@ -1,21 +1,21 @@
 //! The CLI interpreter: applies parsed [`Command`]s to an ETable
-//! [`Session`] and produces the text to print. Fully testable without a
-//! terminal.
+//! [`Connection`] and produces the text to print. Fully testable without
+//! a terminal.
+//!
+//! The engine owns its [`Connection`] — the same handle `etable-server`
+//! gives every accepted socket — so the interpreter is identical whether
+//! it is the only client (the embedded CLI) or one of many.
 
 use crate::command::{parse_value, Command, ExportFormat, FilterOp, ParseError};
+use etable_core::connection::Connection;
 use etable_core::export;
 use etable_core::pattern::{FilterAtom, NodeFilter};
 use etable_core::render::{render_etable, RenderOptions};
-use etable_core::session::Session;
 use etable_core::sql_translate;
-use etable_relational::database::Database;
-use etable_tgm::Tgdb;
 
 /// The interpreter state.
-pub struct Engine<'a> {
-    session: Session<'a>,
-    tgdb: &'a Tgdb,
-    db: &'a Database,
+pub struct Engine {
+    conn: Connection,
     /// Set once `quit` has been executed.
     pub done: bool,
 }
@@ -23,15 +23,16 @@ pub struct Engine<'a> {
 /// Outcome of one command.
 pub type CmdResult = Result<String, String>;
 
-impl<'a> Engine<'a> {
-    /// Creates an engine over a translated database.
-    pub fn new(db: &'a Database, tgdb: &'a Tgdb) -> Self {
-        Engine {
-            session: Session::new(tgdb),
-            tgdb,
-            db,
-            done: false,
-        }
+impl Engine {
+    /// Creates an engine over a connection to a (possibly shared)
+    /// deployment.
+    pub fn new(conn: Connection) -> Self {
+        Engine { conn, done: false }
+    }
+
+    /// The underlying connection (e.g. for opening sibling connections).
+    pub fn connection(&self) -> &Connection {
+        &self.conn
     }
 
     /// Parses and executes one input line.
@@ -53,7 +54,8 @@ impl<'a> Engine<'a> {
             Command::Help => Ok(HELP.trim().to_string()),
             Command::Tables => {
                 let names: Vec<String> = self
-                    .session
+                    .conn
+                    .session()
                     .default_table_list()
                     .into_iter()
                     .map(|(_, n)| n)
@@ -61,7 +63,8 @@ impl<'a> Engine<'a> {
                 Ok(names.join("\n"))
             }
             Command::Open(name) => {
-                self.session
+                self.conn
+                    .session_mut()
                     .open_by_name(&name)
                     .map_err(|e| e.to_string())?;
                 self.render_current(None)
@@ -71,19 +74,32 @@ impl<'a> Engine<'a> {
                     FilterOp::Cmp(op) => NodeFilter::cmp(attr, op, parse_value(&value)),
                     FilterOp::Like => NodeFilter::like(attr, value),
                 };
-                self.session.filter(filter).map_err(|e| e.to_string())?;
+                self.conn
+                    .session_mut()
+                    .filter(filter)
+                    .map_err(|e| e.to_string())?;
                 self.render_current(None)
             }
             Command::FilterRef { column, pattern } => {
-                // Resolve the column to an edge type of the primary.
-                let q = self.session.current_pattern().ok_or("no table is open")?;
-                let primary_ty = q.primary_node().node_type;
-                let (edge, _) = self
-                    .tgdb
-                    .schema
-                    .outgoing_by_name(primary_ty, &column)
-                    .ok_or_else(|| format!("no neighbor column `{column}`"))?;
-                self.session
+                // Resolve the column to an edge type of the primary. The
+                // pattern borrow must end before the mutable filter call.
+                let edge = {
+                    let q = self
+                        .conn
+                        .session()
+                        .current_pattern()
+                        .ok_or("no table is open")?;
+                    let primary_ty = q.primary_node().node_type;
+                    let (edge, _) = self
+                        .conn
+                        .tgdb()
+                        .schema
+                        .outgoing_by_name(primary_ty, &column)
+                        .ok_or_else(|| format!("no neighbor column `{column}`"))?;
+                    edge
+                };
+                self.conn
+                    .session_mut()
                     .filter(NodeFilter::atom(FilterAtom::NeighborLabelLike {
                         edge,
                         pattern,
@@ -92,59 +108,77 @@ impl<'a> Engine<'a> {
                 self.render_current(None)
             }
             Command::Pivot(column) => {
-                self.session.pivot(&column).map_err(|e| e.to_string())?;
+                self.conn
+                    .session_mut()
+                    .pivot(&column)
+                    .map_err(|e| e.to_string())?;
                 self.render_current(None)
             }
             Command::Single { row, column, index } => {
                 let node = self.resolve_ref(row, &column, index)?;
-                self.session.single(node).map_err(|e| e.to_string())?;
+                self.conn
+                    .session_mut()
+                    .single(node)
+                    .map_err(|e| e.to_string())?;
                 self.render_current(None)
             }
             Command::Seeall { row, column } => {
-                let t = self.session.etable().map_err(|e| e.to_string())?;
+                let t = self
+                    .conn
+                    .session_mut()
+                    .etable()
+                    .map_err(|e| e.to_string())?;
                 let r = t
                     .rows
                     .get(row.checked_sub(1).ok_or("rows are numbered from 1")?)
                     .ok_or_else(|| format!("no row {row}"))?;
                 let node = r.node;
-                self.session
+                self.conn
+                    .session_mut()
                     .seeall(node, &column)
                     .map_err(|e| e.to_string())?;
                 self.render_current(None)
             }
             Command::Sort { column, descending } => {
-                self.session.sort(&column, descending);
+                self.conn.session_mut().sort(&column, descending);
                 self.render_current(None)
             }
             Command::Hide(c) => {
-                self.session.hide(&c);
+                self.conn.session_mut().hide(&c);
                 self.render_current(None)
             }
             Command::Show(c) => {
-                self.session.show(&c);
+                self.conn.session_mut().show(&c);
                 self.render_current(None)
             }
             Command::Focus(k) => {
                 let kept = self
-                    .session
+                    .conn
+                    .session_mut()
                     .focus_top_columns(k)
                     .map_err(|e| e.to_string())?;
                 Ok(format!("keeping columns: {}", kept.join(", ")))
             }
             Command::Revert(step) => {
-                self.session
+                self.conn
+                    .session_mut()
                     .revert(step.checked_sub(1).ok_or("steps are numbered from 1")?)
                     .map_err(|e| e.to_string())?;
                 self.render_current(None)
             }
             Command::ShowTable(limit) => self.render_current(limit),
             Command::Schema => {
-                let q = self.session.current_pattern().ok_or("no table is open")?;
-                Ok(q.diagram(self.tgdb))
+                let q = self
+                    .conn
+                    .session()
+                    .current_pattern()
+                    .ok_or("no table is open")?;
+                Ok(q.diagram(self.conn.tgdb()))
             }
             Command::History => {
                 let lines: Vec<String> = self
-                    .session
+                    .conn
+                    .session()
                     .history()
                     .iter()
                     .enumerate()
@@ -153,33 +187,42 @@ impl<'a> Engine<'a> {
                 Ok(lines.join("\n"))
             }
             Command::Sql => {
-                let q = self.session.current_pattern().ok_or("no table is open")?;
-                let display =
-                    sql_translate::to_sql(self.tgdb, self.db, q).map_err(|e| e.to_string())?;
-                let exec = sql_translate::to_primary_sql(self.tgdb, self.db, q)
+                let snap = self.conn.snapshot();
+                let q = self
+                    .conn
+                    .session()
+                    .current_pattern()
+                    .ok_or("no table is open")?;
+                let display = sql_translate::to_sql(self.conn.tgdb(), snap.database(), q)
+                    .map_err(|e| e.to_string())?;
+                let exec = sql_translate::to_primary_sql(self.conn.tgdb(), snap.database(), q)
                     .map_err(|e| e.to_string())?;
                 Ok(format!("{display}\n-- primary keys:\n{exec}"))
             }
             Command::Explain => {
-                let q = self.session.current_pattern().ok_or("no table is open")?;
-                let sql = sql_translate::to_primary_sql(self.tgdb, self.db, q)
-                    .map_err(|e| e.to_string())?;
-                let mut db = self.db.clone();
-                let rel = etable_relational::sql::execute(&mut db, &format!("EXPLAIN {sql}"))
+                let sql = {
+                    let snap = self.conn.snapshot();
+                    let q = self
+                        .conn
+                        .session()
+                        .current_pattern()
+                        .ok_or("no table is open")?;
+                    sql_translate::to_primary_sql(self.conn.tgdb(), snap.database(), q)
+                        .map_err(|e| e.to_string())?
+                };
+                let rel = self
+                    .conn
+                    .sql(&format!("EXPLAIN {sql}"))
                     .map_err(|e| e.to_string())?;
                 let lines: Vec<String> = rel.rows.iter().map(|r| r[0].to_string()).collect();
-                Ok(format!(
-                    "{sql}
---
-{}",
-                    lines.join(
-                        "
-"
-                    )
-                ))
+                Ok(format!("{sql}\n--\n{}", lines.join("\n")))
             }
             Command::Export(format) => {
-                let t = self.session.etable().map_err(|e| e.to_string())?;
+                let t = self
+                    .conn
+                    .session_mut()
+                    .etable()
+                    .map_err(|e| e.to_string())?;
                 Ok(match format {
                     ExportFormat::Json => export::to_json(&t),
                     ExportFormat::Csv => export::to_csv(&t),
@@ -189,7 +232,11 @@ impl<'a> Engine<'a> {
     }
 
     fn render_current(&mut self, limit: Option<usize>) -> CmdResult {
-        let t = self.session.etable().map_err(|e| e.to_string())?;
+        let t = self
+            .conn
+            .session_mut()
+            .etable()
+            .map_err(|e| e.to_string())?;
         let opts = RenderOptions {
             max_rows: limit.unwrap_or(12),
             ..Default::default()
@@ -203,7 +250,11 @@ impl<'a> Engine<'a> {
         column: &str,
         index: usize,
     ) -> Result<etable_tgm::NodeId, String> {
-        let t = self.session.etable().map_err(|e| e.to_string())?;
+        let t = self
+            .conn
+            .session_mut()
+            .etable()
+            .map_err(|e| e.to_string())?;
         let r = t
             .rows
             .get(row.checked_sub(1).ok_or("rows are numbered from 1")?)
@@ -249,21 +300,26 @@ commands:
 mod tests {
     use super::*;
     use etable_datagen::{generate, GenConfig};
-    use etable_tgm::{translate, TranslateOptions};
-    use std::sync::OnceLock;
+    use etable_relational::shared::SharedDatabase;
+    use etable_tgm::{translate, Tgdb, TranslateOptions};
+    use std::sync::{Arc, OnceLock};
 
-    fn env() -> &'static (Database, Tgdb) {
-        static ENV: OnceLock<(Database, Tgdb)> = OnceLock::new();
+    fn env() -> &'static (SharedDatabase, Arc<Tgdb>) {
+        static ENV: OnceLock<(SharedDatabase, Arc<Tgdb>)> = OnceLock::new();
         ENV.get_or_init(|| {
             let db = generate(&GenConfig::small());
             let tgdb = translate(&db, &TranslateOptions::default()).unwrap();
-            (db, tgdb)
+            (SharedDatabase::new(db), Arc::new(tgdb))
         })
     }
 
-    fn run(lines: &[&str]) -> Vec<CmdResult> {
+    fn engine() -> Engine {
         let (db, tgdb) = env();
-        let mut engine = Engine::new(db, tgdb);
+        Engine::new(Connection::connect(db, tgdb))
+    }
+
+    fn run(lines: &[&str]) -> Vec<CmdResult> {
+        let mut engine = engine();
         lines.iter().map(|l| engine.eval_line(l)).collect()
     }
 
@@ -373,8 +429,7 @@ mod tests {
 
     #[test]
     fn quit_sets_done() {
-        let (db, tgdb) = env();
-        let mut engine = Engine::new(db, tgdb);
+        let mut engine = engine();
         engine.eval_line("quit").unwrap();
         assert!(engine.done);
     }

@@ -13,12 +13,12 @@ use crate::Result;
 use etable_tgm::Tgdb;
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A bounded FIFO cache of matching results.
 #[derive(Debug, Default)]
 pub struct QueryCache {
-    map: HashMap<String, Rc<MatchResult>>,
+    map: HashMap<String, Arc<MatchResult>>,
     order: VecDeque<String>,
     capacity: usize,
     hits: u64,
@@ -52,21 +52,21 @@ impl QueryCache {
         &mut self,
         tgdb: &Tgdb,
         pattern: &QueryPattern,
-    ) -> Result<Rc<MatchResult>> {
+    ) -> Result<Arc<MatchResult>> {
         let key = pattern.canonical_key(tgdb);
         if let Some(hit) = self.map.get(&key) {
             self.hits += 1;
-            return Ok(Rc::clone(hit));
+            return Ok(Arc::clone(hit));
         }
         self.misses += 1;
-        let result = Rc::new(match_primary(tgdb, pattern)?);
+        let result = Arc::new(match_primary(tgdb, pattern)?);
         if self.capacity > 0 {
             if self.map.len() >= self.capacity {
                 if let Some(evict) = self.order.pop_front() {
                     self.map.remove(&evict);
                 }
             }
-            self.map.insert(key.clone(), Rc::clone(&result));
+            self.map.insert(key.clone(), Arc::clone(&result));
             self.order.push_back(key);
         }
         Ok(result)
@@ -115,7 +115,7 @@ mod tests {
         let mut cache = QueryCache::new();
         let a = cache.get_or_compute(&tgdb, &q).unwrap();
         let b = cache.get_or_compute(&tgdb, &q).unwrap();
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
     }

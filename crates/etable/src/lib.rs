@@ -27,6 +27,7 @@
 pub mod actions;
 pub mod cache;
 pub mod column_rank;
+pub mod connection;
 pub mod etable;
 pub mod export;
 pub mod graph_relation;

@@ -228,7 +228,7 @@ pub fn render_schema(tgdb: &Tgdb) -> String {
 }
 
 /// Renders the history view (Figure 9 component 4).
-pub fn render_history(session: &Session<'_>) -> String {
+pub fn render_history(session: &Session) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== HISTORY ==");
     for (i, step) in session.history().iter().enumerate() {
@@ -239,7 +239,7 @@ pub fn render_history(session: &Session<'_>) -> String {
 
 /// Renders the full interface state (Figure 9): default table list, main
 /// view, schema view, history view.
-pub fn render_session(session: &mut Session<'_>, opts: &RenderOptions) -> String {
+pub fn render_session(session: &mut Session, opts: &RenderOptions) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== ETABLE BUILDER: choose a table ==");
     for (_, name) in session.default_table_list() {
@@ -310,7 +310,7 @@ mod tests {
     #[test]
     fn session_rendering_shows_all_four_components() {
         let tgdb = academic_tgdb();
-        let mut s = crate::session::Session::new(&tgdb);
+        let mut s = crate::session::Session::new(std::sync::Arc::new(tgdb));
         s.open_by_name("Papers").unwrap();
         s.filter(NodeFilter::cmp("year", CmpOp::Gt, 2010)).unwrap();
         let text = render_session(&mut s, &RenderOptions::default());

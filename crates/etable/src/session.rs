@@ -14,6 +14,7 @@ use crate::transform;
 use crate::{Error, Result};
 use etable_tgm::{NodeId, NodeTypeId, Tgdb};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// One step in the history view.
 #[derive(Debug, Clone)]
@@ -25,8 +26,14 @@ pub struct HistoryStep {
 }
 
 /// An interactive browsing session over one typed graph database.
-pub struct Session<'a> {
-    tgdb: &'a Tgdb,
+///
+/// Sessions are **owned, `Send` values**: they share the graph database
+/// through an `Arc` instead of borrowing it, so a server can park one per
+/// connection and move it across worker threads. (This is the API
+/// redesign behind the serving layer; the old `Session<'a>` borrow made
+/// handing a session to a second thread impossible.)
+pub struct Session {
+    tgdb: Arc<Tgdb>,
     history: Vec<HistoryStep>,
     /// Index into `history` of the step currently shown.
     cursor: Option<usize>,
@@ -35,9 +42,9 @@ pub struct Session<'a> {
     cache: QueryCache,
 }
 
-impl<'a> Session<'a> {
+impl Session {
     /// Starts a session with nothing open.
-    pub fn new(tgdb: &'a Tgdb) -> Self {
+    pub fn new(tgdb: Arc<Tgdb>) -> Self {
         Session {
             tgdb,
             history: Vec::new(),
@@ -50,7 +57,12 @@ impl<'a> Session<'a> {
 
     /// The typed graph database this session browses.
     pub fn tgdb(&self) -> &Tgdb {
-        self.tgdb
+        &self.tgdb
+    }
+
+    /// The shared handle itself (cheap to clone into another session).
+    pub fn tgdb_arc(&self) -> &Arc<Tgdb> {
+        &self.tgdb
     }
 
     /// The default table list (Figure 9 component 1): entity types only.
@@ -80,8 +92,8 @@ impl<'a> Session<'a> {
             .current_pattern()
             .ok_or_else(|| Error::InvalidAction("no table is open".into()))?
             .clone();
-        let m = self.cache.get_or_compute(self.tgdb, &pattern)?;
-        let mut t = transform::transform(self.tgdb, &m)?;
+        let m = self.cache.get_or_compute(&self.tgdb, &pattern)?;
+        let mut t = transform::transform(&self.tgdb, &m)?;
         if let Some((col, desc)) = &self.sort {
             if let Some(idx) = t.column_index(col) {
                 t.sort_by_column(idx, *desc);
@@ -108,15 +120,15 @@ impl<'a> Session<'a> {
             None => Ok(None),
             Some(pattern) => {
                 let pattern = pattern.clone();
-                let m = self.cache.get_or_compute(self.tgdb, &pattern)?;
-                Ok(Some(transform::transform(self.tgdb, &m)?))
+                let m = self.cache.get_or_compute(&self.tgdb, &pattern)?;
+                Ok(Some(transform::transform(&self.tgdb, &m)?))
             }
         }
     }
 
     fn push(&mut self, action: &UserAction) -> Result<()> {
         let etable = self.raw_etable()?;
-        let outcome = apply(self.tgdb, self.current_pattern(), etable.as_ref(), action)?;
+        let outcome = apply(&self.tgdb, self.current_pattern(), etable.as_ref(), action)?;
         self.history.push(HistoryStep {
             description: outcome.description,
             pattern: outcome.pattern,
@@ -236,8 +248,8 @@ mod tests {
 
     #[test]
     fn open_filter_pivot_flow() {
-        let tgdb = academic_tgdb();
-        let mut s = Session::new(&tgdb);
+        let tgdb = std::sync::Arc::new(academic_tgdb());
+        let mut s = Session::new(tgdb.clone());
         s.open_by_name("Conferences").unwrap();
         assert_eq!(s.etable().unwrap().len(), 2);
         s.filter(NodeFilter::cmp("acronym", CmpOp::Eq, "SIGMOD"))
@@ -252,8 +264,8 @@ mod tests {
 
     #[test]
     fn default_table_list_is_entities_only() {
-        let tgdb = academic_tgdb();
-        let s = Session::new(&tgdb);
+        let tgdb = std::sync::Arc::new(academic_tgdb());
+        let s = Session::new(tgdb.clone());
         let names: Vec<String> = s.default_table_list().into_iter().map(|(_, n)| n).collect();
         assert!(names.contains(&"Papers".to_string()));
         assert!(names.contains(&"Authors".to_string()));
@@ -262,8 +274,8 @@ mod tests {
 
     #[test]
     fn revert_restores_earlier_result() {
-        let tgdb = academic_tgdb();
-        let mut s = Session::new(&tgdb);
+        let tgdb = std::sync::Arc::new(academic_tgdb());
+        let mut s = Session::new(tgdb.clone());
         s.open_by_name("Papers").unwrap();
         let before = s.etable().unwrap();
         s.filter(NodeFilter::cmp("year", CmpOp::Gt, 2012)).unwrap();
@@ -279,8 +291,8 @@ mod tests {
 
     #[test]
     fn sort_and_hide_affect_presentation_only() {
-        let tgdb = academic_tgdb();
-        let mut s = Session::new(&tgdb);
+        let tgdb = std::sync::Arc::new(academic_tgdb());
+        let mut s = Session::new(tgdb.clone());
         s.open_by_name("Papers").unwrap();
         s.sort("year", true);
         let t = s.etable().unwrap();
@@ -307,8 +319,8 @@ mod tests {
     #[test]
     fn sort_by_ref_count_mirrors_figure1_history() {
         // "Sort table by # of Papers (referenced)".
-        let tgdb = academic_tgdb();
-        let mut s = Session::new(&tgdb);
+        let tgdb = std::sync::Arc::new(academic_tgdb());
+        let mut s = Session::new(tgdb.clone());
         s.open_by_name("Papers").unwrap();
         s.sort("Papers (referenced)", true);
         let t = s.etable().unwrap();
@@ -319,8 +331,8 @@ mod tests {
 
     #[test]
     fn seeall_selects_row_then_pivots() {
-        let tgdb = academic_tgdb();
-        let mut s = Session::new(&tgdb);
+        let tgdb = std::sync::Arc::new(academic_tgdb());
+        let mut s = Session::new(tgdb.clone());
         s.open_by_name("Papers").unwrap();
         let (papers, _) = tgdb.schema.node_type_by_name("Papers").unwrap();
         let usable = tgdb.node_by_pk(papers, &10.into()).unwrap();
@@ -337,8 +349,8 @@ mod tests {
 
     #[test]
     fn focus_top_columns_hides_the_rest() {
-        let tgdb = academic_tgdb();
-        let mut s = Session::new(&tgdb);
+        let tgdb = std::sync::Arc::new(academic_tgdb());
+        let mut s = Session::new(tgdb.clone());
         s.open_by_name("Papers").unwrap();
         let total = s.etable().unwrap().columns.len();
         let kept = s.focus_top_columns(3).unwrap();
@@ -353,8 +365,8 @@ mod tests {
 
     #[test]
     fn errors_without_open_table() {
-        let tgdb = academic_tgdb();
-        let mut s = Session::new(&tgdb);
+        let tgdb = std::sync::Arc::new(academic_tgdb());
+        let mut s = Session::new(tgdb.clone());
         assert!(s.etable().is_err());
         assert!(s.filter(NodeFilter::cmp("year", CmpOp::Gt, 2000)).is_err());
         assert!(s.revert(0).is_err());

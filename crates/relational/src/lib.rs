@@ -41,6 +41,7 @@ pub mod expr;
 pub mod intern;
 pub mod scan;
 pub mod schema;
+pub mod shared;
 pub mod sql;
 pub mod storage;
 pub mod table;
@@ -69,6 +70,121 @@ pub enum Error {
     /// unsupported format version, checksum mismatch (see [`storage`]).
     /// The message always names the offending path and segment.
     Storage(String),
+    /// Wire-protocol problem: malformed or oversized frame, bad magic or
+    /// protocol version, frame checksum mismatch, unknown message type.
+    /// Produced by the `etable-server` framing layer, which shares this
+    /// error type so protocol failures travel the same `Result` rails as
+    /// engine errors.
+    Protocol(String),
+}
+
+/// Stable numeric codes for every [`Error`] class, used by the wire
+/// protocol and embedders that need machine-readable errors.
+///
+/// The numbers are **frozen**: `1xx` schema/catalog and constraint
+/// errors, `2xx` evaluation, `3xx` parse/analyze, `4xx` storage, `5xx`
+/// protocol. Never renumber or reuse a code — append new ones. The
+/// `error_codes` integration test pins every assignment and the
+/// `u16 -> code -> u16` round trip, so a silent renumbering cannot
+/// survive CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// Schema definition problem ([`Error::Schema`]).
+    Schema = 100,
+    /// Constraint violation ([`Error::Constraint`]).
+    Constraint = 101,
+    /// Unknown table ([`Error::UnknownTable`]).
+    UnknownTable = 102,
+    /// Unknown column ([`Error::UnknownColumn`]).
+    UnknownColumn = 103,
+    /// Expression evaluation problem ([`Error::Eval`]).
+    Eval = 200,
+    /// SQL parse error ([`Error::Parse`]).
+    Parse = 300,
+    /// Static semantic analysis rejection ([`Error::Analyze`]).
+    Analyze = 301,
+    /// On-disk storage problem ([`Error::Storage`]).
+    Storage = 400,
+    /// Wire-protocol problem ([`Error::Protocol`]).
+    Protocol = 500,
+}
+
+impl ErrorCode {
+    /// Every code, in ascending numeric order (handy for pinning tests).
+    pub const ALL: [ErrorCode; 9] = [
+        ErrorCode::Schema,
+        ErrorCode::Constraint,
+        ErrorCode::UnknownTable,
+        ErrorCode::UnknownColumn,
+        ErrorCode::Eval,
+        ErrorCode::Parse,
+        ErrorCode::Analyze,
+        ErrorCode::Storage,
+        ErrorCode::Protocol,
+    ];
+
+    /// The stable numeric value carried on the wire.
+    pub fn as_u16(self) -> u16 {
+        self as u16
+    }
+
+    /// Decodes a wire value back to its code; `None` for unassigned
+    /// numbers (a forward-compatibility hole, not an error class).
+    pub fn from_u16(n: u16) -> Option<ErrorCode> {
+        ErrorCode::ALL.into_iter().find(|c| c.as_u16() == n)
+    }
+}
+
+impl Error {
+    /// The stable numeric code of this error's class.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            Error::Schema(_) => ErrorCode::Schema,
+            Error::Constraint(_) => ErrorCode::Constraint,
+            Error::UnknownTable(_) => ErrorCode::UnknownTable,
+            Error::UnknownColumn(_) => ErrorCode::UnknownColumn,
+            Error::Eval(_) => ErrorCode::Eval,
+            Error::Parse(_) => ErrorCode::Parse,
+            Error::Analyze(_) => ErrorCode::Analyze,
+            Error::Storage(_) => ErrorCode::Storage,
+            Error::Protocol(_) => ErrorCode::Protocol,
+        }
+    }
+
+    /// The class-free message payload — what goes on the wire next to
+    /// the numeric code, so rehydration via [`Error::from_code`] does
+    /// not stack a second class prefix onto the rendered message.
+    pub fn message(&self) -> &str {
+        match self {
+            Error::Schema(m)
+            | Error::Constraint(m)
+            | Error::UnknownTable(m)
+            | Error::UnknownColumn(m)
+            | Error::Eval(m)
+            | Error::Parse(m)
+            | Error::Analyze(m)
+            | Error::Storage(m)
+            | Error::Protocol(m) => m,
+        }
+    }
+
+    /// Rebuilds an error of the class named by `code` (the inverse of
+    /// [`Error::code`], used by wire clients to rehydrate server errors).
+    pub fn from_code(code: ErrorCode, message: impl Into<String>) -> Error {
+        let m = message.into();
+        match code {
+            ErrorCode::Schema => Error::Schema(m),
+            ErrorCode::Constraint => Error::Constraint(m),
+            ErrorCode::UnknownTable => Error::UnknownTable(m),
+            ErrorCode::UnknownColumn => Error::UnknownColumn(m),
+            ErrorCode::Eval => Error::Eval(m),
+            ErrorCode::Parse => Error::Parse(m),
+            ErrorCode::Analyze => Error::Analyze(m),
+            ErrorCode::Storage => Error::Storage(m),
+            ErrorCode::Protocol => Error::Protocol(m),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -82,6 +198,7 @@ impl fmt::Display for Error {
             Error::Parse(m) => write!(f, "SQL parse error: {m}"),
             Error::Analyze(m) => write!(f, "analysis error: {m}"),
             Error::Storage(m) => write!(f, "storage error: {m}"),
+            Error::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }
 }

@@ -37,10 +37,25 @@ use crate::{Error, Result};
 /// relation. DML statements are fully validated by the analyzer before
 /// any row is read or written.
 pub fn execute(db: &mut Database, sql: &str) -> Result<Relation> {
-    match super::parser::parse_statement(sql)? {
-        Statement::Select(q) => execute_query(db, &q),
+    execute_statement(db, super::parser::parse_statement(sql)?)
+}
+
+/// True when `stmt` only reads (`SELECT` / `EXPLAIN`) — the predicate
+/// [`crate::shared::SharedDatabase`] uses to route statements: reads run
+/// against an epoch snapshot, everything else through the serialized
+/// clone-modify-publish write path.
+pub fn is_read_only(stmt: &Statement) -> bool {
+    matches!(stmt, Statement::Select(_) | Statement::Explain(_))
+}
+
+/// Executes a read-only statement (see [`is_read_only`]) against a
+/// shared, immutable database view. Write statements are an internal
+/// routing bug, reported as an evaluation error rather than a panic.
+pub fn execute_read(db: &Database, stmt: &Statement) -> Result<Relation> {
+    match stmt {
+        Statement::Select(q) => execute_query(db, q),
         Statement::Explain(q) => {
-            let lines = explain_query(db, &q)?;
+            let lines = explain_query(db, q)?;
             Ok(Relation::new(
                 vec![crate::algebra::RelColumn::bare(
                     "plan",
@@ -49,6 +64,18 @@ pub fn execute(db: &mut Database, sql: &str) -> Result<Relation> {
                 lines.into_iter().map(|l| vec![Value::from(l)]).collect(),
             ))
         }
+        _ => Err(Error::Eval(
+            "internal: write statement routed to the read-only executor".into(),
+        )),
+    }
+}
+
+/// Executes one already-parsed statement. The string front end
+/// ([`execute`]) and the shared-database router both land here, so
+/// parse-once callers never pay a second tokenization.
+pub fn execute_statement(db: &mut Database, stmt: Statement) -> Result<Relation> {
+    match stmt {
+        Statement::Select(_) | Statement::Explain(_) => execute_read(db, &stmt),
         Statement::CreateTable {
             name,
             columns,

@@ -22,6 +22,6 @@ pub mod parser;
 
 pub use analyze::{analyze, TypedPlan};
 pub use ast::{ColumnDef, JoinClause, OrderItem, Query, SelectItem, SqlExpr, Statement, TableRef};
-pub use executor::execute;
+pub use executor::{execute, execute_read, execute_statement, is_read_only};
 pub use lexer::{tokenize, Token};
 pub use parser::parse_statement;

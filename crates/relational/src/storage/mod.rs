@@ -38,9 +38,9 @@ use format::{
 };
 use paged::ColumnPart;
 use std::collections::BTreeMap;
-use std::fs::{self, File};
+use std::fs;
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Saves every table of `db` under `dir` (created if missing): one
 /// `t<index>.etb` per table in catalog order plus the manifest. Existing
@@ -118,9 +118,7 @@ fn open_table(path: &Path) -> Result<Table> {
     }
     let arena_strings = decode_arena(&scanned.payloads[1], &seg_ctx(1))?;
     let syms = Arc::new(intern_all(&arena_strings));
-    let file = Arc::new(Mutex::new(File::open(path).map_err(|e| {
-        Error::Storage(format!("{}: cannot reopen: {e}", path.display()))
-    })?));
+    let shared_path = Arc::new(path.to_path_buf());
     let cols: Vec<ColumnStore> = schema
         .columns
         .iter()
@@ -128,7 +126,7 @@ fn open_table(path: &Path) -> Result<Table> {
         .map(|(ci, col)| {
             let ctx = format!("{} (`{}.{}`)", seg_ctx(2 + ci), schema.name, col.name);
             let part = ColumnPart::new(
-                Arc::clone(&file),
+                Arc::clone(&shared_path),
                 scanned.segments[2 + ci],
                 ctx,
                 col.data_type,

@@ -4,26 +4,32 @@
 //! fixed-size chunk reads, re-verifies the segment checksum, and caches
 //! the decoded buffers for every clone of the store.
 //!
-//! All table-file handles of one table share a single `Mutex<File>`
-//! (seek then read under the lock), so a table costs one file descriptor
-//! no matter how many of its columns page in, and no `unsafe`/mmap is
-//! involved — `#![forbid(unsafe_code)]` stands.
+//! Each load opens its **own** file handle on the shared table path and
+//! drops it when the read finishes. Loads happen at most once per column
+//! (the decoded buffers live in the store's `OnceLock` cell afterwards),
+//! so the steady state costs zero descriptors — and, crucially for the
+//! serving layer, two connections paging in different columns of the same
+//! table never serialize on a shared descriptor lock: one slow cold read
+//! cannot stall every other client. No `unsafe`/mmap is involved —
+//! `#![forbid(unsafe_code)]` stands.
 
 use super::format::{decode_column, read_segment_payload, SegmentRef};
 use crate::intern::Sym;
 use crate::table::{ColumnData, NullBitmap};
 use crate::value::DataType;
-use crate::Result;
+use crate::{Error, Result};
 use std::fs::File;
-use std::sync::{Arc, Mutex};
+use std::path::PathBuf;
+use std::sync::Arc;
 
 /// One on-disk column: everything needed to load and decode its segment
 /// on first touch. Built by `storage::open` after the whole file's
 /// checksums have already been verified once.
 #[derive(Debug)]
 pub struct ColumnPart {
-    /// Shared handle on the table file (one per table, not per column).
-    file: Arc<Mutex<File>>,
+    /// The table file's path, shared by all the table's columns; every
+    /// load opens an independent handle on it (see the module docs).
+    path: Arc<PathBuf>,
     /// Where the column's payload lives and what it must hash to.
     seg: SegmentRef,
     /// `"<path>: column segment N (`Table.col`)"` — names the source in
@@ -41,7 +47,7 @@ pub struct ColumnPart {
 impl ColumnPart {
     /// Describes one column segment of an opened table file.
     pub(crate) fn new(
-        file: Arc<Mutex<File>>,
+        path: Arc<PathBuf>,
         seg: SegmentRef,
         ctx: String,
         ty: DataType,
@@ -49,7 +55,7 @@ impl ColumnPart {
         syms: Arc<Vec<Sym>>,
     ) -> Self {
         ColumnPart {
-            file,
+            path,
             seg,
             ctx,
             ty,
@@ -58,14 +64,14 @@ impl ColumnPart {
         }
     }
 
-    /// Loads and decodes the column: chunked read, checksum re-verify,
-    /// typed decode. Errors only if the file changed since `open`
-    /// verified it (or the medium failed).
+    /// Loads and decodes the column: open a private handle, chunked read,
+    /// checksum re-verify, typed decode. Errors only if the file changed
+    /// (moved, truncated, rewritten) since `open` verified it, or the
+    /// medium failed.
     pub(crate) fn load(&self) -> Result<(ColumnData, NullBitmap)> {
-        let payload = {
-            let mut f = self.file.lock().expect("table file lock poisoned");
-            read_segment_payload(&mut f, &self.seg, &self.ctx)?
-        };
+        let mut f = File::open(self.path.as_ref())
+            .map_err(|e| Error::Storage(format!("{}: cannot reopen: {e}", self.path.display())))?;
+        let payload = read_segment_payload(&mut f, &self.seg, &self.ctx)?;
         decode_column(&payload, &self.ctx, self.ty, self.rows, &self.syms)
     }
 

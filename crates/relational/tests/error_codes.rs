@@ -1,0 +1,89 @@
+//! Pins the stable numeric [`ErrorCode`] assignments. These numbers are
+//! part of the wire protocol: a client built against an older server must
+//! keep decoding them correctly, so any renumbering has to fail here
+//! loudly instead of shipping silently.
+
+use etable_relational::{Error, ErrorCode};
+
+/// The frozen assignment table. Adding a new class appends a row here;
+/// changing an existing number is a protocol break and must not pass.
+const PINNED: [(ErrorCode, u16); 9] = [
+    (ErrorCode::Schema, 100),
+    (ErrorCode::Constraint, 101),
+    (ErrorCode::UnknownTable, 102),
+    (ErrorCode::UnknownColumn, 103),
+    (ErrorCode::Eval, 200),
+    (ErrorCode::Parse, 300),
+    (ErrorCode::Analyze, 301),
+    (ErrorCode::Storage, 400),
+    (ErrorCode::Protocol, 500),
+];
+
+#[test]
+fn numeric_assignments_are_pinned() {
+    assert_eq!(
+        PINNED.len(),
+        ErrorCode::ALL.len(),
+        "a code exists that this pinning table does not cover"
+    );
+    for (code, n) in PINNED {
+        assert_eq!(code.as_u16(), n, "{code:?} was renumbered");
+    }
+}
+
+#[test]
+fn u16_round_trip_is_exact() {
+    for code in ErrorCode::ALL {
+        assert_eq!(ErrorCode::from_u16(code.as_u16()), Some(code));
+    }
+    // Unassigned numbers decode to None (forward-compatibility hole, not
+    // a silent remap onto a neighboring class).
+    for n in [0u16, 1, 99, 104, 201, 299, 302, 401, 499, 501, u16::MAX] {
+        assert_eq!(ErrorCode::from_u16(n), None, "{n} is unexpectedly assigned");
+    }
+}
+
+#[test]
+fn all_is_ascending_and_duplicate_free() {
+    let nums: Vec<u16> = ErrorCode::ALL.iter().map(|c| c.as_u16()).collect();
+    let mut sorted = nums.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(nums, sorted, "ErrorCode::ALL must be ascending and unique");
+}
+
+#[test]
+fn error_code_error_round_trip_preserves_class_and_message() {
+    let samples = [
+        Error::Schema("s".into()),
+        Error::Constraint("c".into()),
+        Error::UnknownTable("t".into()),
+        Error::UnknownColumn("col".into()),
+        Error::Eval("e".into()),
+        Error::Parse("p".into()),
+        Error::Analyze("a".into()),
+        Error::Storage("st".into()),
+        Error::Protocol("w".into()),
+    ];
+    assert_eq!(samples.len(), ErrorCode::ALL.len());
+    for e in samples {
+        let rebuilt = Error::from_code(e.code(), message_of(&e));
+        assert_eq!(rebuilt, e, "wire round trip changed the error");
+    }
+}
+
+/// Extracts the payload the way a wire encoder would (the full Display
+/// string is prefixed with the class name, which `from_code` re-adds).
+fn message_of(e: &Error) -> String {
+    match e {
+        Error::Schema(m)
+        | Error::Constraint(m)
+        | Error::UnknownTable(m)
+        | Error::UnknownColumn(m)
+        | Error::Eval(m)
+        | Error::Parse(m)
+        | Error::Analyze(m)
+        | Error::Storage(m)
+        | Error::Protocol(m) => m.clone(),
+    }
+}

@@ -1,0 +1,260 @@
+//! The multi-threaded TCP server: one accept loop, one handler thread
+//! and one [`Connection`] per client, all over a single
+//! [`SharedDatabase`] + `Arc<Tgdb>` pair.
+//!
+//! Concurrency model: reads execute on per-statement epoch snapshots
+//! (never blocking each other), writes serialize inside the shared
+//! handle (see `etable_relational::shared`). Shutdown is cooperative and
+//! **complete**: [`Server::shutdown`] flips a flag, wakes the accept
+//! loop with a loopback connect, and joins the accept thread and every
+//! handler thread — when it returns, no server thread is left running
+//! (the CI smoke gate asserts exactly this). Handler reads use a poll
+//! timeout so even an idle client's thread notices the flag promptly.
+
+use crate::proto::{
+    decode, encode, error_message, read_frame_event, write_frame, FrameEvent, Message, WIRE_MAGIC,
+    WIRE_VERSION,
+};
+use etable_core::connection::Connection;
+use etable_relational::shared::SharedDatabase;
+use etable_relational::{Error, Result};
+use etable_tgm::Tgdb;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a blocked handler read waits before re-checking the shutdown
+/// flag. Bounds shutdown latency without busy-waiting.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Counters the load harness and smoke gate read after a run.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: AtomicU64,
+    /// Query messages answered with a result.
+    pub queries_ok: AtomicU64,
+    /// Query messages answered with an error frame.
+    pub queries_err: AtomicU64,
+}
+
+/// A running server: owns the accept thread and all handler threads.
+pub struct Server {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    stats: Arc<ServerStats>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting clients over the shared handles.
+    pub fn start(addr: &str, db: SharedDatabase, tgdb: Arc<Tgdb>) -> Result<Server> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| Error::Protocol(format!("{addr}: cannot bind: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| Error::Protocol(format!("{addr}: no local addr: {e}")))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let stats = Arc::new(ServerStats::default());
+
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let handlers = Arc::clone(&handlers);
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    stats.connections.fetch_add(1, Ordering::Relaxed);
+                    let conn = Connection::connect(&db, &tgdb);
+                    let stop = Arc::clone(&stop);
+                    let stats = Arc::clone(&stats);
+                    let handle =
+                        std::thread::spawn(move || handle_client(stream, conn, &stop, &stats));
+                    let mut hs = lock(&handlers);
+                    // Reap finished handlers so a long-lived server does
+                    // not accumulate join handles.
+                    let mut live: Vec<JoinHandle<()>> =
+                        hs.drain(..).filter(|h| !h.is_finished()).collect();
+                    live.push(handle);
+                    *hs = live;
+                }
+            })
+        };
+
+        Ok(Server {
+            addr: local,
+            stop,
+            accept: Some(accept),
+            handlers,
+            stats,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Stops accepting, wakes and joins every thread. When this returns
+    /// no server thread remains; idle clients are disconnected.
+    pub fn shutdown(mut self) -> Result<()> {
+        self.stop.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway loopback connect.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            h.join()
+                .map_err(|_| Error::Protocol("accept thread panicked".into()))?;
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut hs = lock(&self.handlers);
+            hs.drain(..).collect()
+        };
+        for h in handles {
+            h.join()
+                .map_err(|_| Error::Protocol("a connection handler panicked".into()))?;
+        }
+        Ok(())
+    }
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One client's lifetime: handshake, then a query/answer loop until
+/// `Quit`, disconnect, protocol violation, or server shutdown.
+fn handle_client(stream: TcpStream, conn: Connection, stop: &AtomicBool, stats: &ServerStats) {
+    // Best-effort service: any I/O failure just ends this connection.
+    let _ = serve_one(&stream, &conn, stop, stats);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn serve_one(
+    stream: &TcpStream,
+    conn: &Connection,
+    stop: &AtomicBool,
+    stats: &ServerStats,
+) -> Result<()> {
+    stream
+        .set_read_timeout(Some(POLL_INTERVAL))
+        .map_err(|e| Error::Protocol(format!("set_read_timeout: {e}")))?;
+    // Answers are small multi-write frames followed by a client read;
+    // without this, Nagle + delayed ACK adds ~40ms to every round-trip.
+    stream
+        .set_nodelay(true)
+        .map_err(|e| Error::Protocol(format!("set_nodelay: {e}")))?;
+    let mut reader = std::io::BufReader::new(stream);
+    let mut writer = stream;
+
+    // Handshake: the first frame must be a well-formed, version-matched
+    // Hello; anything else gets one error frame and a close.
+    match next_frame(&mut reader, stop) {
+        Err(e) => {
+            // Unreadable framing (bad checksum, oversize length): report
+            // the typed protocol error once, then close.
+            write_frame(&mut writer, &encode(&error_message(&e)))?;
+            return Ok(());
+        }
+        Ok(None) => return Ok(()),
+        Ok(Some(payload)) => match decode(&payload) {
+            Ok(Message::Hello {
+                magic: WIRE_MAGIC,
+                version: WIRE_VERSION,
+            }) => {
+                let hello_ok = Message::HelloOk {
+                    magic: WIRE_MAGIC,
+                    version: WIRE_VERSION,
+                    epoch: conn.shared().epoch(),
+                };
+                write_frame(&mut writer, &encode(&hello_ok))?;
+            }
+            Ok(Message::Hello { magic, version }) => {
+                let e = Error::Protocol(format!(
+                    "handshake mismatch: magic {magic:#010x} version {version} \
+                     (want {WIRE_MAGIC:#010x} version {WIRE_VERSION})"
+                ));
+                write_frame(&mut writer, &encode(&error_message(&e)))?;
+                return Ok(());
+            }
+            Ok(other) => {
+                let e = Error::Protocol(format!("expected Hello, got {other:?}"));
+                write_frame(&mut writer, &encode(&error_message(&e)))?;
+                return Ok(());
+            }
+            Err(e) => {
+                write_frame(&mut writer, &encode(&error_message(&e)))?;
+                return Ok(());
+            }
+        },
+    }
+
+    loop {
+        let payload = match next_frame(&mut reader, stop) {
+            Ok(Some(p)) => p,
+            Ok(None) => break,
+            Err(e) => {
+                // Framing is no longer trustworthy: one typed error
+                // frame, then close.
+                write_frame(&mut writer, &encode(&error_message(&e)))?;
+                break;
+            }
+        };
+        match decode(&payload) {
+            Ok(Message::Query { sql }) => match conn.sql(&sql) {
+                Ok(relation) => {
+                    stats.queries_ok.fetch_add(1, Ordering::Relaxed);
+                    let msg = Message::Result {
+                        epoch: conn.shared().epoch(),
+                        relation,
+                    };
+                    write_frame(&mut writer, &encode(&msg))?;
+                }
+                Err(e) => {
+                    stats.queries_err.fetch_add(1, Ordering::Relaxed);
+                    write_frame(&mut writer, &encode(&error_message(&e)))?;
+                }
+            },
+            Ok(Message::Quit) => break,
+            Ok(other) => {
+                let e = Error::Protocol(format!("unexpected message {other:?}"));
+                write_frame(&mut writer, &encode(&error_message(&e)))?;
+                break;
+            }
+            Err(e) => {
+                // Corrupt payload: report once, then close — framing is
+                // no longer trustworthy.
+                write_frame(&mut writer, &encode(&error_message(&e)))?;
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Frame reads under the poll timeout: idle-timeout ticks loop back to
+/// check the shutdown flag; a set flag reads as end-of-stream.
+fn next_frame(r: &mut impl std::io::Read, stop: &AtomicBool) -> Result<Option<Vec<u8>>> {
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return Ok(None);
+        }
+        match read_frame_event(r)? {
+            FrameEvent::Frame(p) => return Ok(Some(p)),
+            FrameEvent::Eof => return Ok(None),
+            FrameEvent::IdleTimeout => continue,
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! End-to-end tests for the serving layer: results over the wire must be
+//! byte-identical to direct execution, engine errors must keep their
+//! class across the wire, malformed clients must get one typed error
+//! frame and a close, and shutdown must leave no thread running.
+
+use etable_core::testutil::{academic_db, academic_tgdb};
+use etable_relational::shared::SharedDatabase;
+use etable_relational::Error;
+use etable_server::proto::{encode, read_frame, write_frame, Message, WIRE_MAGIC, WIRE_VERSION};
+use etable_server::{baselines, canon, run_load, Client, Server};
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// The mini academic corpus behind a freshly started server.
+fn start() -> (Server, SharedDatabase) {
+    let db = SharedDatabase::new(academic_db());
+    let server = Server::start("127.0.0.1:0", db.clone(), Arc::new(academic_tgdb()))
+        .expect("ephemeral bind");
+    (server, db)
+}
+
+const QUERIES: [&str; 6] = [
+    "SELECT acronym FROM Conferences ORDER BY id",
+    "SELECT COUNT(*) FROM Papers",
+    "SELECT p.title, a.name FROM Papers p, Paper_Authors pa, Authors a \
+     WHERE p.id = pa.paper_id AND pa.author_id = a.id ORDER BY p.title, a.name",
+    "SELECT year, COUNT(*) AS n FROM Papers GROUP BY year ORDER BY year",
+    "SELECT DISTINCT country FROM Institutions ORDER BY country",
+    "EXPLAIN SELECT title FROM Papers WHERE year > 2010 ORDER BY title",
+];
+
+#[test]
+fn wire_results_are_byte_identical_to_direct_execution() {
+    let (server, db) = start();
+    let mut client = Client::connect(server.addr().to_string().as_str()).unwrap();
+    for q in QUERIES {
+        let direct = canon(&db.execute(q).unwrap());
+        let wired = canon(&client.query(q).unwrap());
+        assert_eq!(wired, direct, "diverged over the wire on: {q}");
+    }
+    client.quit().unwrap();
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn writes_publish_epochs_visible_to_other_clients() {
+    let (server, _db) = start();
+    let addr = server.addr().to_string();
+    let mut a = Client::connect(addr.as_str()).unwrap();
+    let mut b = Client::connect(addr.as_str()).unwrap();
+
+    let before = a.epoch();
+    a.query("CREATE TABLE scratch (id INT PRIMARY KEY)")
+        .unwrap();
+    a.query("INSERT INTO scratch VALUES (1), (2), (3)").unwrap();
+    assert!(a.epoch() >= before + 2, "each write publishes an epoch");
+
+    let r = b.query("SELECT COUNT(*) FROM scratch").unwrap();
+    assert_eq!(format!("{:?}", r.rows), "[[Int(3)]]");
+    assert_eq!(b.epoch(), a.epoch(), "reader observed the writer's epoch");
+
+    a.quit().unwrap();
+    b.quit().unwrap();
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn engine_errors_keep_their_class_over_the_wire() {
+    let (server, db) = start();
+    let mut client = Client::connect(server.addr().to_string().as_str()).unwrap();
+    for bad in [
+        "SELEC nonsense",                // parse
+        "SELECT id FROM no_such_table",  // unknown table
+        "SELECT nope FROM Papers",       // unknown column
+        "INSERT INTO Papers VALUES (1)", // schema arity
+    ] {
+        let direct = db.execute(bad).unwrap_err();
+        let wired = client.query(bad).unwrap_err();
+        assert_eq!(
+            wired.code(),
+            direct.code(),
+            "class drifted over the wire for: {bad}"
+        );
+        assert_eq!(wired.to_string(), direct.to_string());
+    }
+    // The connection survives engine errors: it still answers queries.
+    assert!(client.query("SELECT COUNT(*) FROM Papers").is_ok());
+    client.quit().unwrap();
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn handshake_rejects_version_mismatch_with_one_error_frame() {
+    let (server, _db) = start();
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    let bad_hello = Message::Hello {
+        magic: WIRE_MAGIC,
+        version: WIRE_VERSION + 1,
+    };
+    write_frame(&mut writer, &encode(&bad_hello)).unwrap();
+    let payload = read_frame(&mut reader).unwrap().expect("one error frame");
+    match etable_server::proto::decode(&payload).unwrap() {
+        Message::Error { code, message } => {
+            assert_eq!(code, Error::Protocol(String::new()).code().as_u16());
+            assert!(message.contains("version"), "unhelpful message: {message}");
+        }
+        other => panic!("expected Error frame, got {other:?}"),
+    }
+    assert!(read_frame(&mut reader).unwrap().is_none(), "then EOF");
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn corrupt_frames_get_a_typed_error_then_close() {
+    let (server, _db) = start();
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    // Valid handshake first.
+    let hello = Message::Hello {
+        magic: WIRE_MAGIC,
+        version: WIRE_VERSION,
+    };
+    write_frame(&mut writer, &encode(&hello)).unwrap();
+    let ok = read_frame(&mut reader).unwrap().expect("HelloOk");
+    assert!(matches!(
+        etable_server::proto::decode(&ok).unwrap(),
+        Message::HelloOk { .. }
+    ));
+
+    // Then a query frame with one payload bit flipped after checksumming.
+    let mut raw = Vec::new();
+    write_frame(
+        &mut raw,
+        &encode(&Message::Query {
+            sql: "SELECT 1 FROM Papers".into(),
+        }),
+    )
+    .unwrap();
+    raw[10] ^= 0x40; // inside the payload, past the 8-byte length prefix
+    writer.write_all(&raw).unwrap();
+    writer.flush().unwrap();
+
+    let payload = read_frame(&mut reader).unwrap().expect("one error frame");
+    match etable_server::proto::decode(&payload).unwrap() {
+        Message::Error { code, .. } => {
+            assert_eq!(code, Error::Protocol(String::new()).code().as_u16());
+        }
+        other => panic!("expected Error frame, got {other:?}"),
+    }
+    assert!(read_frame(&mut reader).unwrap().is_none(), "then EOF");
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn shutdown_joins_every_thread_and_disconnects_idle_clients() {
+    let (server, _db) = start();
+    let addr = server.addr().to_string();
+    // Two clients handshake and then sit idle (no Quit).
+    let mut a = Client::connect(addr.as_str()).unwrap();
+    let mut b = Client::connect(addr.as_str()).unwrap();
+    assert!(a.query("SELECT COUNT(*) FROM Papers").is_ok());
+
+    assert_eq!(
+        server
+            .stats()
+            .connections
+            .load(std::sync::atomic::Ordering::Relaxed),
+        2
+    );
+    // Returns only after the accept thread and both handler threads have
+    // been joined — a leak or panic turns into an Err here.
+    server.shutdown().unwrap();
+
+    assert!(a.query("SELECT 1 FROM Papers").is_err(), "server is gone");
+    assert!(b.query("SELECT 1 FROM Papers").is_err(), "server is gone");
+}
+
+#[test]
+fn load_harness_agrees_with_sequential_baseline() {
+    let (server, db) = start();
+    let workload = baselines(&db, &QUERIES).unwrap();
+    let report = run_load(&server.addr().to_string(), 4, 60, &workload).unwrap();
+    assert!(
+        report.clean(),
+        "wrong {} errors {}",
+        report.wrong,
+        report.errors
+    );
+    assert_eq!(report.clients, 4);
+    assert!(report.qps > 0.0);
+    server.shutdown().unwrap();
+    assert_eq!(
+        server_queries_floor(&report),
+        240,
+        "every query got an answer"
+    );
+}
+
+fn server_queries_floor(report: &etable_server::LoadReport) -> usize {
+    report.clients * report.per_client - report.wrong - report.errors
+}

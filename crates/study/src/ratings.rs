@@ -169,7 +169,7 @@ mod tests {
 
     fn rows() -> Vec<RatingRow> {
         let db = generate(&GenConfig::small());
-        let tgdb = translate(&db, &TranslateOptions::default()).unwrap();
+        let tgdb = std::sync::Arc::new(translate(&db, &TranslateOptions::default()).unwrap());
         let results = run_study(&tgdb, &StudyConfig::default());
         table3(&results)
     }
@@ -220,7 +220,7 @@ mod tests {
 
     fn prefs() -> Vec<PreferenceRow> {
         let db = generate(&GenConfig::small());
-        let tgdb = translate(&db, &TranslateOptions::default()).unwrap();
+        let tgdb = std::sync::Arc::new(translate(&db, &TranslateOptions::default()).unwrap());
         let results = run_study(&tgdb, &StudyConfig::default());
         preferences(&results)
     }

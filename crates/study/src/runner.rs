@@ -203,7 +203,7 @@ impl StudyResults {
 /// Panics if any ETable script returns a wrong answer (the scripts are
 /// verified against ground truth in unit tests; this keeps the study run
 /// honest too).
-pub fn run_study(tgdb: &Tgdb, cfg: &StudyConfig) -> StudyResults {
+pub fn run_study(tgdb: &std::sync::Arc<Tgdb>, cfg: &StudyConfig) -> StudyResults {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let participants = Participant::panel(&mut rng, cfg.participants);
 
@@ -311,7 +311,7 @@ mod tests {
     fn results() -> StudyResults {
         let db = generate(&GenConfig::small());
         let tgdb = translate(&db, &TranslateOptions::default()).unwrap();
-        run_study(&tgdb, &StudyConfig::default())
+        run_study(&std::sync::Arc::new(tgdb), &StudyConfig::default())
     }
 
     #[test]
@@ -388,7 +388,7 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let db = generate(&GenConfig::small());
-        let tgdb = translate(&db, &TranslateOptions::default()).unwrap();
+        let tgdb = std::sync::Arc::new(translate(&db, &TranslateOptions::default()).unwrap());
         let a = run_study(&tgdb, &StudyConfig::default());
         let b = run_study(&tgdb, &StudyConfig::default());
         for (x, y) in a.tasks.iter().zip(&b.tasks) {

@@ -26,6 +26,7 @@ use etable_datagen::{params, TaskCategory, TaskParams, TaskSet};
 use etable_relational::expr::CmpOp;
 use etable_tgm::Tgdb;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// The outcome of running an ETable script.
 #[derive(Debug, Clone)]
@@ -38,12 +39,12 @@ pub struct ScriptRun {
 
 /// Runs the ETable script for `task_no` (1–6) of the given task set.
 pub fn run_etable_task(
-    tgdb: &Tgdb,
+    tgdb: &Arc<Tgdb>,
     task_no: usize,
     set: TaskSet,
 ) -> Result<ScriptRun, etable_core::Error> {
     let p = params(set);
-    let mut session = Session::new(tgdb);
+    let mut session = Session::new(Arc::clone(tgdb));
     let n_tables = session.default_table_list().len();
     let mut steps: Vec<UiStep> = Vec::new();
     // Opening a table = finding it in the default table list.
@@ -448,10 +449,10 @@ mod tests {
     use etable_datagen::{generate, ground_truth, task_set, GenConfig};
     use etable_tgm::{translate, TranslateOptions};
 
-    fn setup() -> (etable_relational::database::Database, Tgdb) {
+    fn setup() -> (etable_relational::database::Database, Arc<Tgdb>) {
         let db = generate(&GenConfig::small());
         let tgdb = translate(&db, &TranslateOptions::default()).unwrap();
-        (db, tgdb)
+        (db, Arc::new(tgdb))
     }
 
     #[test]

@@ -55,7 +55,7 @@ fn main() {
     }
 
     // Session-level: keep only the best 4 columns.
-    let mut s = Session::new(&tgdb);
+    let mut s = Session::new(tgdb.clone());
     s.open_by_name("Papers").unwrap();
     let kept = s.focus_top_columns(4).unwrap();
     println!("\nfocused columns: {}", kept.join(", "));

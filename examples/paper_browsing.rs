@@ -10,7 +10,7 @@ use etable_repro::relational::expr::CmpOp;
 
 fn main() {
     let (_, tgdb) = etable_repro::default_environment();
-    let mut session = Session::new(&tgdb);
+    let mut session = Session::new(tgdb.clone());
 
     // Figure 1: Papers filtered by keyword LIKE '%user%' AND conference =
     // SIGMOD. The keyword filter targets a *neighbor label* — the interface
@@ -50,7 +50,7 @@ fn main() {
     let row_node = row.node;
 
     // (a) click one author's name.
-    let mut a = Session::new(&tgdb);
+    let mut a = Session::new(tgdb.clone());
     a.open_by_name("Papers").unwrap();
     a.single(first_author.node).expect("single");
     println!(

@@ -1,5 +1,6 @@
 //! Quickstart: build a database, translate it to a typed graph, browse it
-//! with ETable actions, and look at the SQL you never had to write.
+//! with ETable actions, look at the SQL you never had to write — then
+//! serve the same database over TCP and query it from a wire client.
 //!
 //! Run with `cargo run --example quickstart`.
 
@@ -8,6 +9,7 @@ use etable_repro::core::render::{render_etable, RenderOptions};
 use etable_repro::core::session::Session;
 use etable_repro::core::sql_translate;
 use etable_repro::relational::expr::CmpOp;
+use etable_repro::relational::shared::SharedDatabase;
 
 fn main() {
     // 1. A relational database: the paper's academic schema (Figure 3)
@@ -30,7 +32,7 @@ fn main() {
 
     // 3. Browse: open Papers, filter to recent ones, pivot to authors —
     //    no SQL, no schema knowledge, three actions.
-    let mut session = Session::new(&tgdb);
+    let mut session = Session::new(tgdb.clone());
     session.open_by_name("Papers").expect("open");
     session
         .filter(NodeFilter::cmp("year", CmpOp::Ge, 2014))
@@ -57,4 +59,24 @@ fn main() {
     for (i, step) in session.history().iter().enumerate() {
         println!("history {}: {}", i + 1, step.description);
     }
+
+    // 6. The same database as a multi-threaded server: any number of
+    //    clients over one shared deployment, reads on epoch snapshots,
+    //    writes serialized. `etable serve` / `etable client` wrap exactly
+    //    this pair.
+    let shared = SharedDatabase::new(db);
+    let server =
+        etable_server::Server::start("127.0.0.1:0", shared, tgdb).expect("bind an ephemeral port");
+    let mut client =
+        etable_server::Client::connect(server.addr().to_string().as_str()).expect("connect");
+    let recent = client
+        .query("SELECT COUNT(*) FROM Papers WHERE year >= 2014")
+        .expect("wire query");
+    println!(
+        "\nover the wire (epoch {}): {} papers since 2014",
+        client.epoch(),
+        recent.rows[0][0]
+    );
+    client.quit().expect("orderly goodbye");
+    server.shutdown().expect("all server threads joined");
 }

@@ -30,11 +30,11 @@ pub use etable_tgm as tgm;
 /// database comes through the datagen snapshot cache
 /// ([`datagen::load_or_generate`]), so repeat cold starts open the saved
 /// binary corpus instead of re-running the generator.
-pub fn default_environment() -> (relational::database::Database, tgm::Tgdb) {
+pub fn default_environment() -> (relational::database::Database, std::sync::Arc<tgm::Tgdb>) {
     let db = datagen::load_or_generate(&datagen::GenConfig::medium());
     let tgdb = tgm::translate(&db, &tgm::TranslateOptions::default())
         .expect("the Figure 3 schema always translates");
-    (db, tgdb)
+    (db, std::sync::Arc::new(tgdb))
 }
 
 #[cfg(test)]

@@ -3,23 +3,24 @@
 //! the whole stack (parser → session → matching → rendering) in one path.
 
 use etable_cli::engine::Engine;
+use etable_repro::core::connection::Connection;
 use etable_repro::datagen::{generate, ground_truth, task_set, GenConfig, TaskSet};
-use etable_repro::relational::database::Database;
+use etable_repro::relational::shared::SharedDatabase;
 use etable_repro::tgm::{translate, Tgdb, TranslateOptions};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
-fn env() -> &'static (Database, Tgdb) {
-    static ENV: OnceLock<(Database, Tgdb)> = OnceLock::new();
+fn env() -> &'static (SharedDatabase, Arc<Tgdb>) {
+    static ENV: OnceLock<(SharedDatabase, Arc<Tgdb>)> = OnceLock::new();
     ENV.get_or_init(|| {
         let db = generate(&GenConfig::small());
         let tgdb = translate(&db, &TranslateOptions::default()).unwrap();
-        (db, tgdb)
+        (SharedDatabase::new(db), Arc::new(tgdb))
     })
 }
 
 fn run_to_csv(lines: &[&str]) -> String {
     let (db, tgdb) = env();
-    let mut engine = Engine::new(db, tgdb);
+    let mut engine = Engine::new(Connection::connect(db, tgdb));
     for l in lines {
         engine
             .eval_line(l)
@@ -49,7 +50,7 @@ fn csv_column(csv: &str, name: &str) -> Vec<String> {
 fn task1_year_lookup_via_cli() {
     let tasks = task_set(TaskSet::A);
     let (db, _) = env();
-    let truth = ground_truth(db, &tasks[0]);
+    let truth = ground_truth(&db.snapshot(), &tasks[0]);
     let csv = run_to_csv(&[
         "open Papers",
         "filter title = 'Making database systems usable'",
@@ -66,7 +67,7 @@ fn task3_filter_pipeline_via_cli() {
     // Papers by Samuel Madden in 2013+, via Authors -> seeall -> filter.
     let tasks = task_set(TaskSet::A);
     let (db, _) = env();
-    let truth = ground_truth(db, &tasks[2]);
+    let truth = ground_truth(&db.snapshot(), &tasks[2]);
     let csv = run_to_csv(&[
         "open Authors",
         "filter name = 'Samuel Madden'",
@@ -86,7 +87,7 @@ fn task3_filter_pipeline_via_cli() {
 fn task5_superlative_via_cli() {
     let tasks = task_set(TaskSet::A);
     let (db, _) = env();
-    let truth = ground_truth(db, &tasks[4]);
+    let truth = ground_truth(&db.snapshot(), &tasks[4]);
     let csv = run_to_csv(&[
         "open Institutions",
         "filter country = 'South Korea'",
@@ -106,19 +107,18 @@ fn task5_superlative_via_cli() {
 #[test]
 fn json_export_round_trips_reference_counts() {
     let (db, tgdb) = env();
-    let mut engine = Engine::new(db, tgdb);
+    let mut engine = Engine::new(Connection::connect(db, tgdb));
     engine.eval_line("open Conferences").unwrap();
     engine.eval_line("filter acronym = SIGMOD").unwrap();
     let json = engine.eval_line("export json").unwrap();
     // SIGMOD's paper count in the JSON equals the relational row count.
-    let mut db2 = db.clone();
-    let n = etable_repro::relational::sql::execute(
-        &mut db2,
-        "SELECT COUNT(*) FROM Papers p, Conferences c \
-         WHERE p.conference_id = c.id AND c.acronym = 'SIGMOD'",
-    )
-    .unwrap()
-    .rows[0][0]
+    let n = db
+        .execute(
+            "SELECT COUNT(*) FROM Papers p, Conferences c \
+             WHERE p.conference_id = c.id AND c.acronym = 'SIGMOD'",
+        )
+        .unwrap()
+        .rows[0][0]
         .as_int()
         .unwrap();
     assert!(

@@ -9,11 +9,11 @@ use etable_repro::tgm::{translate, TranslateOptions};
 
 fn small_env() -> (
     etable_repro::relational::database::Database,
-    etable_repro::tgm::Tgdb,
+    std::sync::Arc<etable_repro::tgm::Tgdb>,
 ) {
     let db = generate(&GenConfig::small());
     let tgdb = translate(&db, &TranslateOptions::default()).unwrap();
-    (db, tgdb)
+    (db, std::sync::Arc::new(tgdb))
 }
 
 #[test]
@@ -80,7 +80,7 @@ fn browse_pivot_counts_match_group_by() {
     // Pivoting Conferences -> Papers -> Authors and counting refs equals
     // the SQL GROUP BY result.
     let (db, tgdb) = small_env();
-    let mut s = Session::new(&tgdb);
+    let mut s = Session::new(tgdb.clone());
     s.open_by_name("Conferences").unwrap();
     s.filter(NodeFilter::cmp("acronym", CmpOp::Eq, "SIGMOD"))
         .unwrap();
@@ -115,7 +115,7 @@ fn browse_pivot_counts_match_group_by() {
 #[test]
 fn revert_then_continue_is_consistent() {
     let (_, tgdb) = small_env();
-    let mut s = Session::new(&tgdb);
+    let mut s = Session::new(tgdb.clone());
     s.open_by_name("Papers").unwrap();
     let all = s.etable().unwrap().len();
     s.filter(NodeFilter::cmp("year", CmpOp::Ge, 2010)).unwrap();

@@ -28,7 +28,7 @@ fn paper_scale_pipeline() {
     assert_eq!(db.table("Papers").unwrap().len(), cfg.papers);
     db.check_integrity().unwrap();
 
-    let tgdb = translate(&db, &TranslateOptions::default()).unwrap();
+    let tgdb = std::sync::Arc::new(translate(&db, &TranslateOptions::default()).unwrap());
     // Every entity row becomes a node; link rows become edges. The
     // thresholds are the 38k run's (>60k nodes, >200k edges) expressed as
     // per-paper ratios so the test holds at any ETABLE_SCALE.
@@ -41,7 +41,7 @@ fn paper_scale_pipeline() {
         .schema
         .outgoing_by_name(papers, "Paper_Keywords: keyword")
         .unwrap();
-    let mut s = Session::new(&tgdb);
+    let mut s = Session::new(tgdb.clone());
     s.open_by_name("Papers").unwrap();
     s.filter(NodeFilter::atom(FilterAtom::NeighborLabelLike {
         edge: ke,

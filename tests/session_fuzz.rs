@@ -10,19 +10,19 @@ use etable_repro::relational::value::DataType;
 use etable_repro::tgm::{translate, Tgdb, TranslateOptions};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
-fn tgdb() -> &'static Tgdb {
-    static T: OnceLock<Tgdb> = OnceLock::new();
+fn tgdb() -> &'static Arc<Tgdb> {
+    static T: OnceLock<Arc<Tgdb>> = OnceLock::new();
     T.get_or_init(|| {
         let db = generate(&GenConfig::small());
-        translate(&db, &TranslateOptions::default()).unwrap()
+        Arc::new(translate(&db, &TranslateOptions::default()).unwrap())
     })
 }
 
 /// Performs one random action; errors are fine (the UI reports them), but
 /// panics and invariant violations are not.
-fn random_action(session: &mut Session<'_>, rng: &mut StdRng) {
+fn random_action(session: &mut Session, rng: &mut StdRng) {
     let tgdb = session.tgdb();
     match rng.gen_range(0..8) {
         0 => {
@@ -121,7 +121,7 @@ fn random_sessions_never_break_invariants() {
     let tgdb = tgdb();
     for seed in 0..12u64 {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut session = Session::new(tgdb);
+        let mut session = Session::new(tgdb.clone());
         for step in 0..60 {
             random_action(&mut session, &mut rng);
             // Invariants after every action:
@@ -148,7 +148,7 @@ fn history_replay_reproduces_results() {
     // row count as the original execution did at that point.
     let tgdb = tgdb();
     let mut rng = StdRng::seed_from_u64(7);
-    let mut session = Session::new(tgdb);
+    let mut session = Session::new(tgdb.clone());
     let mut counts: Vec<Option<usize>> = Vec::new();
     for _ in 0..25 {
         random_action(&mut session, &mut rng);
@@ -164,7 +164,7 @@ fn history_replay_reproduces_results() {
         // state right after the step was pushed.
         // History grows monotonically, so locating the first recording
         // where history length == step+1 suffices.
-        let mut replay = Session::new(tgdb);
+        let mut replay = Session::new(tgdb.clone());
         let mut rng2 = StdRng::seed_from_u64(7);
         let mut expected = None;
         for recorded in counts.iter().take(25) {
