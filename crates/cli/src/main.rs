@@ -16,7 +16,9 @@
 //! stdin, so the binary works in pipes:
 //! `echo -e "open Papers\nshow-table 3" | etable`.
 //!
-//! Two more modes expose the same database over the wire:
+//! Two more modes expose the same database over the wire (in-memory
+//! only: wire writes last for the server's lifetime, nothing persists
+//! across restarts):
 //!
 //! ```text
 //! $ etable serve [addr]          # default 127.0.0.1:7878
@@ -118,6 +120,11 @@ fn repl() {
 /// `etable serve [addr]`: the multi-threaded server over the corpus.
 /// Runs until stdin closes (or `quit`/EOF on a pipe), then shuts down
 /// cleanly, joining every connection thread.
+///
+/// The deployment is **in-memory only**: wire DML publishes new epochs
+/// for the server's lifetime but nothing is written back to disk, so
+/// every restart reloads the generated corpus. The startup banner says
+/// so, because clients cannot tell from the protocol alone.
 fn serve(addr: &str) {
     let (db, tgdb) = load_environment();
     let server = match Server::start(addr, db, tgdb) {
@@ -128,7 +135,9 @@ fn serve(addr: &str) {
         }
     };
     eprintln!(
-        "serving on {} — connect with `etable client {}`; \
+        "serving on {} — connect with `etable client {}`.\n\
+         note: this deployment is in-memory only; writes are visible to \
+         all clients but are NOT persisted across restarts.\n\
          press Enter or close stdin to stop",
         server.addr(),
         server.addr()

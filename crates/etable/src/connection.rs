@@ -58,6 +58,13 @@ impl Connection {
         self.db.execute(sql)
     }
 
+    /// [`sql`](Self::sql), but also reporting the epoch the statement
+    /// observed (reads: the snapshot it ran on; writes: the epoch it
+    /// published) — what the server stamps on `Result` frames.
+    pub fn sql_with_epoch(&self, sql: &str) -> etable_relational::Result<(u64, Relation)> {
+        self.db.execute_with_epoch(sql)
+    }
+
     /// Pins the current database epoch for read-your-own consistency
     /// across several statements (e.g. translating a pattern to SQL and
     /// executing it against one stable view).

@@ -121,11 +121,23 @@ impl SharedDatabase {
     /// else goes through the serialized write path and, on success,
     /// publishes a new epoch.
     pub fn execute(&self, sql_text: &str) -> Result<Relation> {
+        Ok(self.execute_with_epoch(sql_text)?.1)
+    }
+
+    /// [`execute`](Self::execute), but also reporting the epoch the
+    /// statement actually observed: the pinned snapshot's epoch for a
+    /// read, the newly published epoch for a write. The serving layer
+    /// stamps this on `Result` frames — re-reading the live epoch after
+    /// execution would race concurrent writers and could name an epoch
+    /// the statement never saw.
+    pub fn execute_with_epoch(&self, sql_text: &str) -> Result<(u64, Relation)> {
         let stmt = sql::parse_statement(sql_text)?;
         if sql::is_read_only(&stmt) {
-            return sql::execute_read(&self.snapshot(), &stmt);
+            let snap = self.snapshot();
+            let rel = sql::execute_read(&snap, &stmt)?;
+            return Ok((snap.epoch, rel));
         }
-        self.write(|db| sql::execute_statement(db, stmt))
+        self.write_with_epoch(|db| sql::execute_statement(db, stmt))
     }
 
     /// The serialized write path: clones the current database, applies
@@ -133,18 +145,28 @@ impl SharedDatabase {
     /// succeeds**. On error nothing is published and concurrent readers
     /// never see a partial effect.
     pub fn write<T>(&self, f: impl FnOnce(&mut Database) -> Result<T>) -> Result<T> {
+        Ok(self.write_with_epoch(f)?.1)
+    }
+
+    /// [`write`](Self::write), but also reporting the epoch the
+    /// successful write published.
+    pub fn write_with_epoch<T>(
+        &self,
+        f: impl FnOnce(&mut Database) -> Result<T>,
+    ) -> Result<(u64, T)> {
         let _writer = unpoison(self.inner.write.lock());
         // Read the base state *after* taking the writer mutex so the
         // clone always branches from the latest epoch.
         let base = self.snapshot();
         let mut db = (*base.db).clone();
         let out = f(&mut db)?;
+        let epoch = base.epoch + 1;
         let mut cur = unpoison(self.inner.current.write());
         *cur = Snapshot {
             db: Arc::new(db),
-            epoch: base.epoch + 1,
+            epoch,
         };
-        Ok(out)
+        Ok((epoch, out))
     }
 }
 
@@ -187,6 +209,26 @@ mod tests {
         assert_eq!(shared.epoch(), 0);
         let r = shared.execute("SELECT COUNT(*) FROM t").unwrap();
         assert_eq!(r.rows[0][0], crate::value::Value::Int(2));
+    }
+
+    #[test]
+    fn execute_with_epoch_reports_the_observed_epoch() {
+        let shared = seeded();
+        // A read reports the epoch of the snapshot it ran on...
+        let (e, _) = shared.execute_with_epoch("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(e, 0);
+        // ...a write reports the epoch it published...
+        let (e, _) = shared
+            .execute_with_epoch("INSERT INTO t VALUES (3, 'c')")
+            .unwrap();
+        assert_eq!(e, 1);
+        // ...and a failed write reports nothing (no epoch consumed).
+        assert!(shared
+            .execute_with_epoch("INSERT INTO t VALUES (1, 'dup')")
+            .is_err());
+        let (e, r) = shared.execute_with_epoch("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(e, 1);
+        assert_eq!(r.rows[0][0], crate::value::Value::Int(3));
     }
 
     #[test]

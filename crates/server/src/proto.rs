@@ -23,7 +23,11 @@
 //! Corruption handling: an oversized length, a checksum mismatch, an
 //! unknown message type or a truncated body all decode to
 //! [`Error::Protocol`] (never a panic), and the peer that detects them
-//! closes the connection.
+//! closes the connection. Counts inside a `Result` body (columns, rows,
+//! dictionary entries) are attacker-controlled until proven otherwise:
+//! each is bounded against the bytes still remaining in the payload
+//! **before** it sizes any allocation, so a tiny frame claiming
+//! `u64::MAX` rows is a typed refusal, not a giant allocation.
 
 use etable_relational::algebra::{RelColumn, Relation};
 use etable_relational::intern::Sym;
@@ -345,16 +349,43 @@ fn encode_relation(w: &mut PayloadWriter, rel: &Relation) {
     }
 }
 
+/// Rejects a decoded element count that could not possibly fit the
+/// reader's remaining payload (each element needs at least `min_bytes`
+/// of encoding). Counts come off the wire attacker-controlled, so every
+/// one must fail here **before** it sizes an allocation — a ~25-byte
+/// frame claiming `u64::MAX` rows must cost nothing.
+fn bounded_count(n: u64, min_bytes: usize, r: &PayloadReader<'_>, what: &str) -> Result<usize> {
+    let fits = n
+        .checked_mul(min_bytes as u64)
+        .is_some_and(|need| need <= r.remaining() as u64);
+    if !fits {
+        return Err(Error::Protocol(format!(
+            "implausible {what} {n} (only {} payload bytes remain)",
+            r.remaining()
+        )));
+    }
+    Ok(n as usize)
+}
+
 fn decode_relation(r: &mut PayloadReader<'_>) -> Result<Relation> {
-    let ncols = r.u32("column count").map_err(as_protocol)? as usize;
+    // Minimum encoded sizes backing the bounds below: a column header is
+    // a u32 name length + a type byte (5), a dictionary entry a u32
+    // length (4), a cell its tag byte (1). A row therefore needs at
+    // least `ncols` cell bytes; zero-column relations (which the engine
+    // never produces for SQL results) must still pay one byte per
+    // claimed row so a count can never outrun the payload.
+    let raw_ncols = r.u32("column count").map_err(as_protocol)?;
+    let ncols = bounded_count(u64::from(raw_ncols), 5, r, "column count")?;
     let mut columns = Vec::with_capacity(ncols);
     for _ in 0..ncols {
         let name = r.str("column name").map_err(as_protocol)?;
         let ty = type_from_code(r.u8("column type").map_err(as_protocol)?)?;
         columns.push(RelColumn::bare(name, ty));
     }
-    let nrows = r.u64("row count").map_err(as_protocol)? as usize;
-    let dict_len = r.u32("dictionary length").map_err(as_protocol)? as usize;
+    let raw_nrows = r.u64("row count").map_err(as_protocol)?;
+    let nrows = bounded_count(raw_nrows, ncols.max(1), r, "row count")?;
+    let raw_dict = r.u32("dictionary length").map_err(as_protocol)?;
+    let dict_len = bounded_count(u64::from(raw_dict), 4, r, "dictionary length")?;
     let mut dict = Vec::with_capacity(dict_len);
     for _ in 0..dict_len {
         dict.push(Sym::intern(
@@ -566,6 +597,55 @@ mod tests {
         // Unknown message type.
         let e = decode(&[0x7f]).unwrap_err();
         assert!(e.to_string().contains("unknown message type"), "{e}");
+    }
+
+    #[test]
+    fn hostile_result_counts_are_rejected_before_allocation() {
+        // Each payload claims a count wildly beyond its own byte length;
+        // decode must answer with a typed protocol error (it would
+        // panic with "capacity overflow" or allocate gigabytes if the
+        // counts were trusted).
+        let result_header = |w: &mut PayloadWriter| {
+            w.u8(tag::RESULT);
+            w.u64(7); // epoch
+        };
+
+        // u64::MAX rows behind a single one-column header.
+        let mut w = PayloadWriter::new();
+        result_header(&mut w);
+        w.u32(1); // ncols
+        w.str("c");
+        w.u8(0);
+        w.u64(u64::MAX); // nrows
+        let e = decode(&w.into_bytes()).unwrap_err();
+        assert_eq!(e.code().as_u16(), 500, "{e}");
+        assert!(e.to_string().contains("row count"), "{e}");
+
+        // Huge rows with zero columns (rows still cost >= 1 byte each).
+        let mut w = PayloadWriter::new();
+        result_header(&mut w);
+        w.u32(0); // ncols
+        w.u64(1 << 40); // nrows
+        let e = decode(&w.into_bytes()).unwrap_err();
+        assert!(e.to_string().contains("row count"), "{e}");
+
+        // A column count no payload this size could encode.
+        let mut w = PayloadWriter::new();
+        result_header(&mut w);
+        w.u32(u32::MAX); // ncols
+        let e = decode(&w.into_bytes()).unwrap_err();
+        assert!(e.to_string().contains("column count"), "{e}");
+
+        // A dictionary length past the remaining bytes.
+        let mut w = PayloadWriter::new();
+        result_header(&mut w);
+        w.u32(1); // ncols
+        w.str("c");
+        w.u8(0);
+        w.u64(0); // nrows
+        w.u32(u32::MAX); // dict_len
+        let e = decode(&w.into_bytes()).unwrap_err();
+        assert!(e.to_string().contains("dictionary length"), "{e}");
     }
 
     #[test]

@@ -6,10 +6,13 @@
 //! (never blocking each other), writes serialize inside the shared
 //! handle (see `etable_relational::shared`). Shutdown is cooperative and
 //! **complete**: [`Server::shutdown`] flips a flag, wakes the accept
-//! loop with a loopback connect, and joins the accept thread and every
-//! handler thread — when it returns, no server thread is left running
-//! (the CI smoke gate asserts exactly this). Handler reads use a poll
-//! timeout so even an idle client's thread notices the flag promptly.
+//! loop with a loopback connect, force-disconnects every live client
+//! socket, and joins the accept thread and every handler thread — when
+//! it returns, no server thread is left running (the CI smoke gate
+//! asserts exactly this). Handler reads use a poll timeout so an idle
+//! client's thread notices the flag promptly; the force-disconnect
+//! covers clients stalled mid-frame or mid-write, where the flag is
+//! deliberately not polled (frames are atomic).
 
 use crate::proto::{
     decode, encode, error_message, read_frame_event, write_frame, FrameEvent, Message, WIRE_MAGIC,
@@ -29,6 +32,11 @@ use std::time::Duration;
 /// flag. Bounds shutdown latency without busy-waiting.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
+/// How long the accept loop sleeps after `accept` itself fails (e.g.
+/// EMFILE). Without this a persistent error would spin the thread at
+/// 100% CPU.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(20);
+
 /// Counters the load harness and smoke gate read after a run.
 #[derive(Debug, Default)]
 pub struct ServerStats {
@@ -45,8 +53,18 @@ pub struct Server {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
-    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    handlers: Arc<Mutex<Vec<ClientThread>>>,
     stats: Arc<ServerStats>,
+}
+
+/// One live client: its handler thread plus a second handle on its
+/// socket, kept so [`Server::shutdown`] can force-disconnect a client
+/// that is stalled mid-frame (frame reads deliberately ride out
+/// timeouts once a frame started, and writes have none) instead of
+/// joining forever.
+struct ClientThread {
+    handle: JoinHandle<()>,
+    stream: TcpStream,
 }
 
 impl Server {
@@ -59,7 +77,7 @@ impl Server {
             .local_addr()
             .map_err(|e| Error::Protocol(format!("{addr}: no local addr: {e}")))?;
         let stop = Arc::new(AtomicBool::new(false));
-        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let handlers: Arc<Mutex<Vec<ClientThread>>> = Arc::new(Mutex::new(Vec::new()));
         let stats = Arc::new(ServerStats::default());
 
         let accept = {
@@ -67,11 +85,34 @@ impl Server {
             let handlers = Arc::clone(&handlers);
             let stats = Arc::clone(&stats);
             std::thread::spawn(move || {
+                let mut accept_failing = false;
                 for stream in listener.incoming() {
                     if stop.load(Ordering::Acquire) {
                         break;
                     }
-                    let Ok(stream) = stream else { continue };
+                    let stream = match stream {
+                        Ok(s) => {
+                            accept_failing = false;
+                            s
+                        }
+                        Err(e) => {
+                            // Log once per error streak, then back off:
+                            // a persistent failure like EMFILE must not
+                            // spin the loop or flood stderr.
+                            if !accept_failing {
+                                accept_failing = true;
+                                eprintln!("etable-server: accept failed: {e} (backing off)");
+                            }
+                            std::thread::sleep(ACCEPT_BACKOFF);
+                            continue;
+                        }
+                    };
+                    // The second socket handle lets shutdown() unblock a
+                    // handler stalled mid-read/mid-write; a client we
+                    // could not register that way is refused outright.
+                    let Ok(peer) = stream.try_clone() else {
+                        continue;
+                    };
                     stats.connections.fetch_add(1, Ordering::Relaxed);
                     let conn = Connection::connect(&db, &tgdb);
                     let stop = Arc::clone(&stop);
@@ -80,10 +121,13 @@ impl Server {
                         std::thread::spawn(move || handle_client(stream, conn, &stop, &stats));
                     let mut hs = lock(&handlers);
                     // Reap finished handlers so a long-lived server does
-                    // not accumulate join handles.
-                    let mut live: Vec<JoinHandle<()>> =
-                        hs.drain(..).filter(|h| !h.is_finished()).collect();
-                    live.push(handle);
+                    // not accumulate join handles or sockets.
+                    let mut live: Vec<ClientThread> =
+                        hs.drain(..).filter(|c| !c.handle.is_finished()).collect();
+                    live.push(ClientThread {
+                        handle,
+                        stream: peer,
+                    });
                     *hs = live;
                 }
             })
@@ -109,7 +153,8 @@ impl Server {
     }
 
     /// Stops accepting, wakes and joins every thread. When this returns
-    /// no server thread remains; idle clients are disconnected.
+    /// no server thread remains; all clients — idle, stalled mid-frame,
+    /// or mid-write — are disconnected.
     pub fn shutdown(mut self) -> Result<()> {
         self.stop.store(true, Ordering::Release);
         // Wake the blocking accept with a throwaway loopback connect.
@@ -118,12 +163,21 @@ impl Server {
             h.join()
                 .map_err(|_| Error::Protocol("accept thread panicked".into()))?;
         }
-        let handles: Vec<JoinHandle<()>> = {
+        // The accept thread is gone, so the registry is now complete.
+        let clients: Vec<ClientThread> = {
             let mut hs = lock(&self.handlers);
             hs.drain(..).collect()
         };
-        for h in handles {
-            h.join()
+        // Force-disconnect every socket *before* joining: the stop flag
+        // is only polled at frame boundaries, so a client that sent a
+        // partial frame (or stopped reading while the server writes)
+        // would otherwise pin its handler — and this join — forever.
+        for c in &clients {
+            let _ = c.stream.shutdown(Shutdown::Both);
+        }
+        for c in clients {
+            c.handle
+                .join()
                 .map_err(|_| Error::Protocol("a connection handler panicked".into()))?;
         }
         Ok(())
@@ -169,7 +223,7 @@ fn serve_one(
             return Ok(());
         }
         Ok(None) => return Ok(()),
-        Ok(Some(payload)) => match decode(&payload) {
+        Ok(Some(payload)) => match client_message(&payload) {
             Ok(Message::Hello {
                 magic: WIRE_MAGIC,
                 version: WIRE_VERSION,
@@ -212,14 +266,15 @@ fn serve_one(
                 break;
             }
         };
-        match decode(&payload) {
-            Ok(Message::Query { sql }) => match conn.sql(&sql) {
-                Ok(relation) => {
+        match client_message(&payload) {
+            Ok(Message::Query { sql }) => match conn.sql_with_epoch(&sql) {
+                // The epoch comes from the statement itself (the
+                // snapshot a read ran on, the epoch a write published)
+                // — re-reading the live epoch here would race
+                // concurrent writers and mislabel the result.
+                Ok((epoch, relation)) => {
                     stats.queries_ok.fetch_add(1, Ordering::Relaxed);
-                    let msg = Message::Result {
-                        epoch: conn.shared().epoch(),
-                        relation,
-                    };
+                    let msg = Message::Result { epoch, relation };
                     write_frame(&mut writer, &encode(&msg))?;
                 }
                 Err(e) => {
@@ -242,6 +297,18 @@ fn serve_one(
         }
     }
     Ok(())
+}
+
+/// Decodes a frame from a client, refusing server-to-client message
+/// types (high tag bit) on the tag byte alone — a hostile `Result` body
+/// full of forged counts is never even parsed.
+fn client_message(payload: &[u8]) -> Result<Message> {
+    if let Some(t) = payload.first().filter(|t| *t & 0x80 != 0) {
+        return Err(Error::Protocol(format!(
+            "client sent server-to-client message type {t:#04x}"
+        )));
+    }
+    decode(payload)
 }
 
 /// Frame reads under the poll timeout: idle-timeout ticks loop back to

@@ -182,6 +182,85 @@ fn shutdown_joins_every_thread_and_disconnects_idle_clients() {
 }
 
 #[test]
+fn shutdown_force_disconnects_a_mid_frame_stalled_client() {
+    let (server, _db) = start();
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    // A frame header promising 100 payload bytes, then only 3 and a
+    // stall with the socket held open. The handler deliberately rides
+    // out read timeouts mid-frame (frames are atomic), so without the
+    // force-disconnect in shutdown() this join would hang forever.
+    writer.write_all(&100u64.to_le_bytes()).unwrap();
+    writer.write_all(&[1, 2, 3]).unwrap();
+    writer.flush().unwrap();
+    // Give the handler time to enter the mid-frame body read.
+    std::thread::sleep(std::time::Duration::from_millis(120));
+    server.shutdown().unwrap();
+    drop(stream);
+}
+
+#[test]
+fn server_rejects_server_to_client_tags_with_one_error_frame() {
+    let (server, _db) = start();
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    // Valid handshake first.
+    let hello = Message::Hello {
+        magic: WIRE_MAGIC,
+        version: WIRE_VERSION,
+    };
+    write_frame(&mut writer, &encode(&hello)).unwrap();
+    let ok = read_frame(&mut reader).unwrap().expect("HelloOk");
+    assert!(matches!(
+        etable_server::proto::decode(&ok).unwrap(),
+        Message::HelloOk { .. }
+    ));
+
+    // A client has no business sending a Result; the server must refuse
+    // it on the tag byte (its body is never parsed) and close.
+    let forged = Message::Result {
+        epoch: 0,
+        relation: etable_relational::algebra::Relation::new(Vec::new(), Vec::new()),
+    };
+    write_frame(&mut writer, &encode(&forged)).unwrap();
+    let payload = read_frame(&mut reader).unwrap().expect("one error frame");
+    match etable_server::proto::decode(&payload).unwrap() {
+        Message::Error { code, message } => {
+            assert_eq!(code, Error::Protocol(String::new()).code().as_u16());
+            assert!(
+                message.contains("server-to-client"),
+                "unhelpful message: {message}"
+            );
+        }
+        other => panic!("expected Error frame, got {other:?}"),
+    }
+    assert!(read_frame(&mut reader).unwrap().is_none(), "then EOF");
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn result_epochs_name_the_snapshot_the_statement_observed() {
+    let (server, db) = start();
+    let mut client = Client::connect(server.addr().to_string().as_str()).unwrap();
+    // Reads at epoch 0 report epoch 0.
+    client.query("SELECT COUNT(*) FROM Papers").unwrap();
+    assert_eq!(client.epoch(), 0);
+    // A write reports the epoch it published...
+    client
+        .query("CREATE TABLE scratch (id INT PRIMARY KEY)")
+        .unwrap();
+    assert_eq!(client.epoch(), 1);
+    // ...and a server-side write moves what later reads observe.
+    db.execute("INSERT INTO scratch VALUES (1)").unwrap();
+    client.query("SELECT COUNT(*) FROM scratch").unwrap();
+    assert_eq!(client.epoch(), 2);
+    client.quit().unwrap();
+    server.shutdown().unwrap();
+}
+
+#[test]
 fn load_harness_agrees_with_sequential_baseline() {
     let (server, db) = start();
     let workload = baselines(&db, &QUERIES).unwrap();
